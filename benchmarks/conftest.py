@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+The full study is expensive (tens of seconds), so a single converged
+instance is shared across every benchmark file via the memoized
+scenario module.
+"""
+
+import pytest
+
+from repro.experiments.scenario import default_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The canonical full-scale study all reported numbers come from."""
+    return default_study()

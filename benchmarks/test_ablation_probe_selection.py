@@ -1,0 +1,41 @@
+"""Ablation: continent-balanced vs naive probe selection.
+
+The raw probe population is Europe-skewed (like RIPE Atlas); naive
+sampling inherits the skew, while the paper's round-robin selection
+flattens it.  The bias metric is the maximum continent share.
+"""
+
+import random
+from collections import Counter
+
+from repro.atlas.selection import select_probes_balanced
+
+
+def _max_continent_share(probes):
+    counts = Counter(probe.continent for probe in probes)
+    total = sum(counts.values())
+    return max(counts.values()) / total if total else 0.0
+
+
+def test_ablation_probe_selection(benchmark, study):
+    population = study.probes
+    budget = len(study.selected_probes)
+    naive = random.Random(0).sample(population, k=min(budget, len(population)))
+    balanced = study.selected_probes
+
+    naive_bias = _max_continent_share(naive)
+    balanced_bias = _max_continent_share(balanced)
+    population_bias = _max_continent_share(population)
+    print()
+    print("== Ablation: probe selection strategy ==")
+    print(f"  population max-continent share: {100 * population_bias:.1f}%")
+    print(f"  naive sample:                   {100 * naive_bias:.1f}%")
+    print(f"  continent-balanced:             {100 * balanced_bias:.1f}%")
+
+    assert balanced_bias < naive_bias
+    assert balanced_bias <= 0.40  # no continent dominates after balancing
+
+    selected = benchmark(
+        select_probes_balanced, population, study.config.probes_per_continent, 0
+    )
+    assert _max_continent_share(selected) <= 0.40

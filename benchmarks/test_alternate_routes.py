@@ -1,0 +1,29 @@
+"""Section 4.4: alternate-route preference orders from poisoning."""
+
+from repro.core.active_analysis import classify_preference_orders
+from repro.core.case_studies import build_case_studies
+from repro.experiments import alternate_routes
+from repro.peering.schedule import schedule_discovery
+
+
+def test_alternate_routes(benchmark, study):
+    report = alternate_routes.run(study)
+    print()
+    print(report.render())
+    # Dissect the recorded violations the way Section 4.4 does.
+    cases = build_case_studies(study.preference_summary.violations, study.inferred)
+    for case in cases[:3]:
+        print(f"  case study: {case.narrative}")
+    # What this campaign would cost on the live testbed (90-minute
+    # announcement spacing to dodge route-flap dampening).
+    calendar = schedule_discovery(study.discovery.distinct_announcements)
+    print(
+        f"  wall-clock on the real testbed: {study.discovery.distinct_announcements} "
+        f"announcements over {calendar.total_days:.1f} days"
+    )
+    assert alternate_routes.shape_holds(study)
+
+    summary = benchmark(
+        classify_preference_orders, study.discovery.observations, study.inferred
+    )
+    assert summary.total_targets == study.preference_summary.total_targets

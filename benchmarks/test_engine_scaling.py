@@ -1,0 +1,50 @@
+"""Scaling: Gao-Rexford routing-tree computation vs topology size.
+
+The GR engine is the analysis hot path (one routing tree per
+destination per refinement layer); this benchmark measures a full
+routing-tree build on the study's inferred topology and sanity-checks
+linear-ish behavior on a smaller one.
+"""
+
+import time
+
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.topogen.config import small_config
+from repro.topogen.generator import generate_internet
+from repro.topogen.inference import infer_topology
+
+
+def _mean_tree_time(graph, destinations):
+    engine = GaoRexfordEngine(graph)
+    start = time.perf_counter()
+    for destination in destinations:
+        engine.routing_info(destination)
+    return (time.perf_counter() - start) / len(destinations)
+
+
+def test_engine_scaling(benchmark, study):
+    big = study.inferred
+    small_internet = generate_internet(small_config(), seed=1)
+    small, _complex = infer_topology(small_internet, seed=1)
+
+    big_destinations = sorted(study.dataset.destination_asns)[:20]
+    small_destinations = sorted(small.asns())[:20]
+    big_time = _mean_tree_time(big, big_destinations)
+    small_time = _mean_tree_time(small, small_destinations)
+    print()
+    print("== Engine scaling ==")
+    print(f"  small topology ({small.num_links()} links): {1e3 * small_time:.2f} ms/tree")
+    print(f"  full topology  ({big.num_links()} links): {1e3 * big_time:.2f} ms/tree")
+
+    # Routing trees are O(E log V); the big topology has ~6x the links
+    # and must not blow up super-linearly beyond a generous factor.
+    links_ratio = big.num_links() / max(1, small.num_links())
+    assert big_time <= small_time * links_ratio * 8
+
+    destination = big_destinations[0]
+
+    def one_tree():
+        return GaoRexfordEngine(big).routing_info(destination)
+
+    info = benchmark(one_tree)
+    assert info.has_route(next(iter(study.inferred.asns())))

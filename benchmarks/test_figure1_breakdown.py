@@ -1,0 +1,34 @@
+"""Figure 1: decision breakdown across refinement layers.
+
+Prints the regenerated bars next to the paper's anchors and benchmarks
+the classification kernel (one full layer pass over every decision).
+"""
+
+from repro.core.classification import DecisionLabel, classify_decisions
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.pipeline import FIGURE1_LAYERS
+from repro.experiments import figure1
+from repro.experiments.plots import stacked_bar_chart
+
+
+def test_figure1_breakdown(benchmark, study):
+    report = figure1.run(study)
+    print()
+    print(report.render())
+    rows = {
+        layer: {
+            label.value: study.figure1[layer].percent(label)
+            for label in DecisionLabel
+        }
+        for layer in FIGURE1_LAYERS
+    }
+    print(stacked_bar_chart(rows))
+    assert figure1.shape_holds(study)
+
+    def classify_simple_layer():
+        # Fresh engine so the routing-tree computation is measured too.
+        engine = GaoRexfordEngine(study.inferred)
+        return classify_decisions(study.decisions, engine)
+
+    counts = benchmark(classify_simple_layer)
+    assert counts.total() == len(study.decisions)

@@ -1,0 +1,17 @@
+"""Figure 2: violation skew across source and destination ASes."""
+
+from repro.core.skew import compute_skew
+from repro.experiments import figure2
+from repro.experiments.plots import cdf_plot
+
+
+def test_figure2_skew(benchmark, study):
+    report = figure2.run(study)
+    print()
+    print(report.render())
+    print("destination-AS violation CDF ('.' = no-skew reference):")
+    print(cdf_plot(study.skew.by_destination.cumulative_fractions()))
+    assert figure2.shape_holds(study)
+
+    skew = benchmark(compute_skew, study.labeled_simple)
+    assert skew.by_destination.total() == study.skew.by_destination.total()

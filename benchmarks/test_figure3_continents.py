@@ -1,0 +1,35 @@
+"""Figure 3: continental vs intercontinental decision breakdown."""
+
+from repro.core.classification import DecisionLabel
+from repro.core.geography import CONTINENT_ORDER, GeographyAnalysis
+from repro.experiments import figure3
+from repro.experiments.plots import stacked_bar_chart
+
+
+def test_figure3_continents(benchmark, study):
+    report = figure3.run(study)
+    print()
+    print(report.render())
+    rows = {}
+    for code in CONTINENT_ORDER:
+        counts = study.continental.per_continent.get(code)
+        if counts is not None and counts.total():
+            rows[code] = {
+                label.value: counts.percent(label) for label in DecisionLabel
+            }
+    rows["Cont"] = {
+        label.value: study.continental.continental.percent(label)
+        for label in DecisionLabel
+    }
+    rows["NonCont"] = {
+        label.value: study.continental.intercontinental.percent(label)
+        for label in DecisionLabel
+    }
+    print(stacked_bar_chart(rows))
+    assert figure3.shape_holds(study)
+
+    analysis = GeographyAnalysis(
+        study.geo, study.internet.whois, study.internet.cables, study.engine
+    )
+    breakdown = benchmark(analysis.continental_breakdown, study.traces)
+    assert breakdown.continental.total() == study.continental.continental.total()

@@ -1,0 +1,14 @@
+"""Section 3.2: poisoning-experiment dataset accounting."""
+
+from repro.experiments import poisoning_dataset
+from repro.experiments.poisoning_dataset import links_missing_from_inferred
+
+
+def test_poisoning_dataset(benchmark, study):
+    report = poisoning_dataset.run(study)
+    print()
+    print(report.render())
+    assert poisoning_dataset.shape_holds(study)
+
+    missing, poisoned_only = benchmark(links_missing_from_inferred, study)
+    assert poisoned_only <= missing

@@ -1,0 +1,19 @@
+"""Section 4.3: looking-glass validation of PSP inferences."""
+
+from repro.core.looking_glass import LookingGlassDeployment, validate_psp_cases
+from repro.experiments import psp_validation
+
+
+def test_psp_validation(benchmark, study):
+    report = psp_validation.run(study)
+    print()
+    print(report.render())
+    assert psp_validation.shape_holds(study)
+
+    looking_glasses = LookingGlassDeployment(
+        study.dataset.simulator,
+        deployment_rate=study.config.lg_deployment_rate,
+        seed=study.config.seed + 8,
+    )
+    validation = benchmark(validate_psp_cases, study.psp_cases_1, looking_glasses)
+    assert validation.checked == study.psp_validation.checked

@@ -1,0 +1,40 @@
+"""Robustness: the headline shapes hold across random seeds.
+
+The canonical scenario uses seed 0; this benchmark re-runs the full
+pipeline on two more seeds and asserts the paper's central claims
+survive: a majority-but-not-all of decisions model-consistent,
+refinements recover a chunk with PSP leading, and continental
+decisions more consistent than intercontinental ones.
+"""
+
+import pytest
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import Study, StudyConfig
+from repro.experiments import figure1, figure3
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_shapes_hold_across_seeds(benchmark, seed):
+    results = Study(StudyConfig(seed=seed)).run()
+    simple = results.figure1["Simple"].percent(DecisionLabel.BEST_SHORT)
+    all1 = results.figure1["All-1"].percent(DecisionLabel.BEST_SHORT)
+    print()
+    print(f"== Robustness: seed {seed} ==")
+    print(f"  Simple Best/Short = {simple:.1f}%  All-1 = {all1:.1f}%")
+    print(
+        f"  continental {results.continental.continental.percent(DecisionLabel.BEST_SHORT):.1f}% "
+        f"vs intercontinental "
+        f"{results.continental.intercontinental.percent(DecisionLabel.BEST_SHORT):.1f}%"
+    )
+    assert figure1.shape_holds(results)
+    assert figure3.shape_holds(results)
+
+    def read_breakdown():
+        return {
+            layer: counts.as_percent_dict()
+            for layer, counts in results.figure1.items()
+        }
+
+    breakdown = benchmark(read_breakdown)
+    assert set(breakdown) == set(results.figure1)

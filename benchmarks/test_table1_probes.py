@@ -1,0 +1,23 @@
+"""Table 1: probe distribution by AS type.
+
+Benchmarks the continent-balanced round-robin selection over the full
+probe population.
+"""
+
+from repro.atlas.selection import select_probes_balanced
+from repro.experiments import table1
+
+
+def test_table1_probes(benchmark, study):
+    report = table1.run(study)
+    print()
+    print(report.render())
+    assert table1.shape_holds(study)
+
+    selected = benchmark(
+        select_probes_balanced,
+        study.probes,
+        study.config.probes_per_continent,
+        study.config.seed,
+    )
+    assert len(selected) == len(study.selected_probes)

@@ -1,0 +1,20 @@
+"""Table 2: BGP decision triggers after anycasting the magnet prefix.
+
+Benchmarks the paper's inference procedure over the recorded magnet
+observations.
+"""
+
+from repro.core.active_analysis import infer_magnet_decisions
+from repro.experiments import table2
+
+
+def test_table2_magnet_decisions(benchmark, study):
+    report = table2.run(study)
+    print()
+    print(report.render())
+    assert table2.shape_holds(study)
+
+    table = benchmark(
+        infer_magnet_decisions, study.magnet_observations, study.inferred
+    )
+    assert table.total("feeds") == study.magnet_table.total("feeds")

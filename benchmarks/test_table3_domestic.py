@@ -1,0 +1,19 @@
+"""Table 3: deviations explained by domestic-path preference."""
+
+from repro.core.geography import GeographyAnalysis
+from repro.experiments import table3
+
+
+def test_table3_domestic(benchmark, study):
+    report = table3.run(study)
+    print()
+    print(report.render())
+    assert table3.shape_holds(study)
+
+    analysis = GeographyAnalysis(
+        study.geo, study.internet.whois, study.internet.cables, study.engine
+    )
+    rows = benchmark(analysis.domestic_rows, study.traces)
+    assert sum(r.violations for r in rows) == sum(
+        r.violations for r in study.domestic_rows
+    )

@@ -1,0 +1,17 @@
+"""Table 4: decisions attributable to undersea-cable ASes."""
+
+from repro.core.geography import GeographyAnalysis
+from repro.experiments import table4
+
+
+def test_table4_cables(benchmark, study):
+    report = table4.run(study)
+    print()
+    print(report.render())
+    assert table4.shape_holds(study)
+
+    analysis = GeographyAnalysis(
+        study.geo, study.internet.whois, study.internet.cables, study.engine
+    )
+    summary = benchmark(analysis.cable_summary, study.traces)
+    assert summary.cable_decisions == study.cable_summary.cable_decisions

@@ -1,0 +1,30 @@
+"""Substrate validation: inferred-topology completeness.
+
+Quantifies the premise the whole paper rests on — inferred topologies
+miss the edge peering mesh — by comparing the study's inferred
+topology against the generator's ground truth.
+"""
+
+from repro.topology.completeness import completeness
+
+
+def test_topology_completeness(benchmark, study):
+    report = completeness(study.internet.graph, study.inferred)
+    print()
+    print("== Substrate: inferred-topology completeness ==")
+    print(f"  link recall:          {100 * report.recall:5.1f}%")
+    print(f"    edge peering:       {100 * report.edge_peering_recall:5.1f}%")
+    print(f"    core links:         {100 * report.core_recall:5.1f}%")
+    print(f"  link precision:       {100 * report.precision:5.1f}%")
+    print(f"  label accuracy:       {100 * report.label_accuracy:5.1f}%")
+    print(f"  spurious (stale):     {report.spurious_links}")
+
+    # The paper's premise: edge peering is much less visible than the
+    # core, and the inferred topology contains stale links.
+    assert report.edge_peering_recall < report.core_recall - 0.1
+    assert report.core_recall > 0.8
+    assert report.spurious_links > 0
+    assert 0.7 < report.label_accuracy < 1.0
+
+    result = benchmark(completeness, study.internet.graph, study.inferred)
+    assert result.true_links == report.true_links

@@ -1,0 +1,51 @@
+"""Passive measurement campaign toward popular content (Section 3.1).
+
+Reproduces the paper's passive pipeline at small scale: select probes
+continent-balanced, traceroute to every content DNS name, convert the
+traceroutes to AS paths, classify every routing decision against the
+Gao-Rexford model, and print the Figure-1 breakdown plus the
+destination skew of Figure 2.
+
+Run with:  python examples/content_campaign.py
+"""
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import FIGURE1_LAYERS, Study, StudyConfig
+from repro.topogen.config import small_config
+
+
+def main() -> None:
+    config = StudyConfig(
+        topology=small_config(),
+        seed=11,
+        num_probes=400,
+        probes_per_continent=25,
+        active_experiments=False,  # passive campaign only
+    )
+    results = Study(config).run()
+
+    print(f"probes selected: {len(results.selected_probes)}")
+    print(f"traceroutes:     {len(results.dataset.measurements)}")
+    print(f"destination ASes: {len(results.dataset.destination_asns)}")
+    print(f"routing decisions observed: {len(results.decisions)}")
+    print()
+    print("Figure 1 — decision breakdown per refinement layer")
+    header = f"{'layer':<8}" + "".join(f"{label.value:>15}" for label in DecisionLabel)
+    print(header)
+    for layer in FIGURE1_LAYERS:
+        counts = results.figure1[layer]
+        row = f"{layer:<8}" + "".join(
+            f"{counts.percent(label):>14.1f}%" for label in DecisionLabel
+        )
+        print(row)
+
+    print()
+    print("Figure 2 — top violation destinations")
+    names = {asys.asn: asys.name for asys in results.internet.graph.ases()}
+    for asn, count in results.skew.by_destination.ranked[:5]:
+        share = 100.0 * results.skew.by_destination.share_of(asn)
+        print(f"  AS{asn:<6} {names.get(asn, '?'):<16} {count:>5} violations ({share:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Geography study: continents, domestic paths, undersea cables (Sec 6).
+
+Runs a small passive campaign and asks the paper's three geographic
+questions: are continental traceroutes more model-consistent, how many
+deviations come from ASes keeping traffic in-country, and how guilty
+are undersea-cable ASes?
+
+Run with:  python examples/domestic_routing.py
+"""
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import Study, StudyConfig
+from repro.topogen.config import small_config
+
+
+def main() -> None:
+    config = StudyConfig(
+        topology=small_config(),
+        seed=5,
+        num_probes=500,
+        probes_per_continent=30,
+        active_experiments=False,
+    )
+    results = Study(config).run()
+
+    breakdown = results.continental
+    print("Figure 3 — model fit by geography")
+    print(f"  continental traces:      "
+          f"{100 * breakdown.continental_trace_fraction():.1f}% of decisions")
+    print(f"  continental Best/Short:  "
+          f"{breakdown.continental.percent(DecisionLabel.BEST_SHORT):.1f}%")
+    print(f"  intercontinental:        "
+          f"{breakdown.intercontinental.percent(DecisionLabel.BEST_SHORT):.1f}%")
+
+    print("\nTable 3 — deviations explained by domestic preference")
+    for row in results.domestic_rows:
+        if row.violations == 0:
+            continue
+        print(f"  {row.continent}: {row.explained}/{row.violations} "
+              f"({row.percent_explained:.1f}%) explained")
+
+    summary = results.cable_summary
+    print("\nTable 4 — undersea cable involvement")
+    print(f"  paths crossing cable ASes: {100 * summary.path_fraction:.2f}%")
+    print(f"  cable decisions deviating: {100 * summary.deviating_fraction:.1f}%")
+    for row in summary.rows:
+        print(f"  {row.label.value:<16} {row.percent:.2f}% involve cables")
+
+
+if __name__ == "__main__":
+    main()

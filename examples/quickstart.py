@@ -1,0 +1,62 @@
+"""Quickstart: build a tiny Internet, route it, and grade a decision.
+
+Walks the core objects end to end in under a second:
+
+1. generate a synthetic Internet (ground truth),
+2. derive the inferred (CAIDA-like) topology the analysis is allowed
+   to see,
+3. converge BGP for one content prefix,
+4. compare one AS's actual next-hop choice against the Gao-Rexford
+   model's prediction.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.bgp import BGPSimulator
+from repro.core.classification import Decision, classify_decision
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.topogen import generate_internet, infer_topology
+from repro.topogen.config import small_config
+
+
+def main() -> None:
+    # 1. Ground truth: ~130 ASes with realistic relationships/policies.
+    internet = generate_internet(small_config(), seed=7)
+    print(f"generated {len(internet.graph)} ASes, {internet.graph.num_links()} links")
+
+    # 2. What relationship inference sees of it (with its usual errors).
+    inferred, _complex_dataset = infer_topology(internet, seed=7)
+    print(f"inferred topology has {inferred.num_links()} links")
+
+    # 3. Converge BGP for one content provider's serving prefix.
+    provider = internet.content[0]
+    origin = provider.asns[0]
+    prefix = internet.prefixes[origin][-1]
+    simulator = BGPSimulator(
+        internet.graph, policies=internet.policies, country_of=internet.country_of
+    )
+    simulator.originate(origin, prefix)
+    print(f"{provider.name} (AS{origin}) announced {prefix}")
+
+    # 4. Grade the routing decisions along one eyeball's path.
+    source = internet.eyeball_asns[0]
+    path = simulator.forwarding_path(source, prefix)
+    print(f"data-plane path from AS{source}: {' -> '.join(f'AS{a}' for a in path)}")
+
+    engine = GaoRexfordEngine(inferred)
+    for index in range(len(path) - 1):
+        decision = Decision(
+            asn=path[index],
+            next_hop=path[index + 1],
+            destination=origin,
+            prefix=prefix,
+            measured_len=len(path) - 1 - index,
+            source_asn=source,
+            path=tuple(path),
+        )
+        label = classify_decision(decision, engine)
+        print(f"  AS{decision.asn} -> AS{decision.next_hop}: {label.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Reproduction of "Investigating Interdomain Routing Policies in the
+Wild" (Anwar et al., IMC 2015).
+
+The package implements the paper's full measurement-and-analysis
+system over a synthetic Internet: topology generation with realistic
+policy deviations, a BGP route-propagation simulator, traceroute and
+control-plane measurement substrates, and the classification pipeline
+that grades observed routing decisions against the Gao-Rexford model.
+
+Start with :class:`repro.core.Study` for the end-to-end pipeline, or
+the ``examples/`` directory for focused walkthroughs.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

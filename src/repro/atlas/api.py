@@ -1,0 +1,92 @@
+"""Measurement results as JSON documents (RIPE Atlas API shape).
+
+Real Atlas traceroute results arrive as JSON with ``src_addr``,
+``dst_addr``, ``prb_id`` and a ``result`` array of per-hop records.
+These converters let a campaign be exported in that shape and parsed
+back, so the analysis pipeline can also be fed from recorded files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.atlas.campaign import Measurement
+from repro.dataplane.traceroute import TracerouteHop, TracerouteResult
+from repro.net.ip import IPAddress
+
+
+def traceroute_to_json(result: TracerouteResult, probe_id: int = 0) -> Dict:
+    """One traceroute as an Atlas-style result document."""
+    hops = []
+    for index, hop in enumerate(result.hops, start=1):
+        if hop.ip is None:
+            hops.append({"hop": index, "result": [{"x": "*"}]})
+        else:
+            hops.append(
+                {
+                    "hop": index,
+                    "result": [{"from": str(hop.ip), "rtt": hop.rtt}],
+                }
+            )
+    return {
+        "type": "traceroute",
+        "prb_id": probe_id,
+        "src_addr": str(result.source_ip),
+        "dst_addr": str(result.destination_ip),
+        "from_asn": result.source_asn,
+        "reached": result.reached,
+        "result": hops,
+    }
+
+
+def traceroute_from_json(document: Dict) -> TracerouteResult:
+    """Parse an Atlas-style result document back into a traceroute."""
+    if document.get("type") != "traceroute":
+        raise ValueError(f"not a traceroute document: {document.get('type')!r}")
+    hops: List[TracerouteHop] = []
+    for entry in document.get("result", []):
+        replies = entry.get("result", [])
+        reply = replies[0] if replies else {"x": "*"}
+        if "from" in reply:
+            hops.append(
+                TracerouteHop(
+                    ip=IPAddress.parse(reply["from"]), rtt=reply.get("rtt")
+                )
+            )
+        else:
+            hops.append(TracerouteHop(ip=None, rtt=None))
+    return TracerouteResult(
+        source_asn=int(document["from_asn"]),
+        source_ip=IPAddress.parse(document["src_addr"]),
+        destination_ip=IPAddress.parse(document["dst_addr"]),
+        hops=hops,
+        reached=bool(document.get("reached", False)),
+    )
+
+
+def dump_measurements(measurements: Iterable[Measurement]) -> str:
+    """Serialize campaign measurements as JSON Lines."""
+    lines = []
+    for measurement in measurements:
+        document = traceroute_to_json(
+            measurement.traceroute, probe_id=measurement.probe.probe_id
+        )
+        document["dns_name"] = measurement.dns_name
+        lines.append(json.dumps(document, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_measurements(text: str) -> List[TracerouteResult]:
+    """Parse JSON Lines back into traceroute results."""
+    results = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_number}: invalid JSON") from exc
+        results.append(traceroute_from_json(document))
+    return results

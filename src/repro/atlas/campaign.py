@@ -1,0 +1,145 @@
+"""The passive traceroute campaign (paper Section 3.1).
+
+Ties the substrates together: originate every prefix of every
+destination AS into the BGP simulator, resolve each content DNS name at
+each probe, traceroute to the resolved replica, and collect the raw
+measurements the analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.atlas.budget import CreditLedger
+from repro.atlas.dns import CDNResolver
+from repro.atlas.probes import Probe
+from repro.bgp.simulator import BGPSimulator
+from repro.dataplane.traceroute import TracerouteEngine, TracerouteResult
+from repro.net.ip import Prefix
+from repro.net.trie import PrefixTrie
+from repro.topogen.internet import Internet, Replica
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign run.
+
+    ``ledger`` caps the campaign by measurement credits (Section 3.1's
+    "maximum probing rate allowed by RIPE Atlas"): probes whose full
+    DNS+traceroute sweep no longer fits the budget are skipped.
+    """
+
+    seed: int = 0
+    missing_hop_rate: float = 0.04
+    dns_locality: int = 2
+    ledger: Optional[CreditLedger] = None
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One probe's traceroute toward one resolved DNS name."""
+
+    probe: Probe
+    dns_name: str
+    replica: Replica
+    traceroute: TracerouteResult
+
+
+@dataclass
+class CampaignDataset:
+    """Everything a campaign produced.
+
+    ``simulator`` stays converged on the destination prefixes, so BGP
+    collectors can be pointed at it afterwards for the control-plane
+    side of the analysis (prefix-specific policy criteria).
+    """
+
+    measurements: List[Measurement]
+    announced: PrefixTrie
+    simulator: BGPSimulator
+    destination_asns: Set[int]
+    destination_prefixes: Dict[int, List[Prefix]] = field(default_factory=dict)
+
+    def successful(self) -> List[Measurement]:
+        return [m for m in self.measurements if m.traceroute.reached]
+
+
+def destination_ases(internet: Internet) -> Set[int]:
+    """Every AS hosting at least one content replica."""
+    return {
+        replica.asn
+        for provider in internet.content
+        for replica in provider.all_replicas()
+    }
+
+
+def run_campaign(
+    internet: Internet,
+    probes: List[Probe],
+    config: Optional[CampaignConfig] = None,
+    simulator: Optional[BGPSimulator] = None,
+) -> CampaignDataset:
+    """Run the full passive campaign and return the raw dataset."""
+    config = config or CampaignConfig()
+    if simulator is None:
+        simulator = BGPSimulator(
+            internet.graph,
+            policies=internet.policies,
+            country_of=internet.country_of,
+        )
+
+    # Originate every prefix of every destination AS so that the BGP
+    # feeds expose per-prefix export behaviour (needed by PSP criteria).
+    targets = destination_ases(internet)
+    announced: PrefixTrie = PrefixTrie()
+    destination_prefixes: Dict[int, List[Prefix]] = {}
+    for asn in sorted(targets):
+        for prefix in internet.prefixes[asn]:
+            simulator.originate(asn, prefix)
+            announced.insert(prefix, asn)
+        destination_prefixes[asn] = list(internet.prefixes[asn])
+
+    resolver = CDNResolver(internet, seed=config.seed, locality=config.dns_locality)
+    engine = TracerouteEngine(
+        internet,
+        simulator,
+        announced,
+        seed=config.seed,
+        missing_hop_rate=config.missing_hop_rate,
+    )
+
+    measurements: List[Measurement] = []
+    ledger = config.ledger
+    names = resolver.names()
+    for probe in probes:
+        if ledger is not None:
+            sweep_cost = ledger.cost_of("dns", len(names)) + ledger.cost_of(
+                "traceroute", len(names)
+            )
+            if sweep_cost > ledger.remaining:
+                break  # daily budget exhausted; remaining probes skipped
+        for dns_name in names:
+            replica = resolver.resolve(dns_name, probe)
+            if ledger is not None:
+                ledger.charge("dns")
+            if replica is None:
+                continue
+            if ledger is not None:
+                ledger.charge("traceroute")
+            trace = engine.trace(probe.asn, probe.ip, probe.city, replica.ip)
+            measurements.append(
+                Measurement(
+                    probe=probe,
+                    dns_name=dns_name,
+                    replica=replica,
+                    traceroute=trace,
+                )
+            )
+    return CampaignDataset(
+        measurements=measurements,
+        announced=announced,
+        simulator=simulator,
+        destination_asns=targets,
+        destination_prefixes=destination_prefixes,
+    )

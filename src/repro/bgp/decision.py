@@ -1,0 +1,83 @@
+"""The BGP best-path decision process.
+
+The simulator implements the steps of the standard (Cisco-documented)
+decision process that the paper's reverse-engineering experiment
+targets (Table 2):
+
+1. highest local preference,
+2. shortest AS-path length,
+3. lowest intradomain (IGP) cost to the egress — hot-potato routing,
+4. oldest route,
+5. lowest router ID.
+
+:func:`best_route` additionally reports which step broke the tie, which
+serves as ground truth when validating the paper's inference method.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.routes import Route
+
+
+class DecisionStep(enum.Enum):
+    """The decision-process step that selected the best route."""
+
+    ONLY_ROUTE = "only route"
+    LOCAL_PREF = "local preference"
+    PATH_LENGTH = "as-path length"
+    IGP_COST = "intradomain cost"
+    ROUTE_AGE = "route age"
+    ROUTER_ID = "router id"
+
+
+def _preference_key(route: Route) -> Tuple[int, int, int, int, int]:
+    """Sort key: smaller is better on every component."""
+    return (
+        -route.local_pref,
+        route.path_length(),
+        route.igp_cost,
+        route.age,
+        route.router_id,
+    )
+
+
+def compare_routes(a: Route, b: Route) -> int:
+    """Negative if ``a`` is preferred over ``b``, positive if worse, 0 if tied."""
+    key_a, key_b = _preference_key(a), _preference_key(b)
+    if key_a < key_b:
+        return -1
+    if key_a > key_b:
+        return 1
+    return 0
+
+
+def rank_routes(routes: Iterable[Route]) -> List[Route]:
+    """Routes sorted most-preferred first."""
+    return sorted(routes, key=_preference_key)
+
+
+def best_route(routes: Sequence[Route]) -> Tuple[Optional[Route], Optional[DecisionStep]]:
+    """The winning route and the decision step that picked it.
+
+    The reported step is the first attribute on which the winner beats
+    the runner-up; with a single candidate it is ``ONLY_ROUTE``.
+    """
+    candidates = rank_routes(routes)
+    if not candidates:
+        return None, None
+    winner = candidates[0]
+    if len(candidates) == 1:
+        return winner, DecisionStep.ONLY_ROUTE
+    runner_up = candidates[1]
+    if winner.local_pref != runner_up.local_pref:
+        return winner, DecisionStep.LOCAL_PREF
+    if winner.path_length() != runner_up.path_length():
+        return winner, DecisionStep.PATH_LENGTH
+    if winner.igp_cost != runner_up.igp_cost:
+        return winner, DecisionStep.IGP_COST
+    if winner.age != runner_up.age:
+        return winner, DecisionStep.ROUTE_AGE
+    return winner, DecisionStep.ROUTER_ID

@@ -1,0 +1,144 @@
+"""Per-AS routing policy: import preferences and export filters.
+
+A :class:`Policy` encodes Gao-Rexford economics as the default and
+layers on the real-world deviations the paper investigates:
+
+* per-neighbor local-preference overrides (backup links, hybrid
+  geographic relationships that make the effective preference differ
+  from the inferred relationship),
+* per-(neighbor, prefix) overrides (prefix-specific preference),
+* selective prefix announcement at the origin (the paper's
+  prefix-specific policies, Section 4.3),
+* partial transit (a provider exporting only peer/customer reachability
+  to some customers),
+* preference for domestic paths (Section 6, Table 3),
+* poisoned-announcement filtering and disabled loop prevention
+  (the limitations noted in Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.bgp.attributes import ASPathAttribute
+from repro.bgp.routes import Route
+from repro.net.ip import Prefix
+from repro.topology.relationships import Relationship, can_export
+
+#: Default local-preference bands for the Gao-Rexford ordering.
+DEFAULT_LOCAL_PREF = {
+    Relationship.CUSTOMER: 300,
+    Relationship.SIBLING: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+#: Bonus added to routes whose every hop stays in the home country when
+#: the AS prefers domestic paths.
+DOMESTIC_BONUS = 50
+
+CountryLookup = Callable[[int], Optional[str]]
+
+
+@dataclass
+class Policy:
+    """Routing policy of a single AS."""
+
+    asn: int
+    #: Local-pref override per neighbor ASN (wins over the relationship band).
+    neighbor_local_pref: Dict[int, int] = field(default_factory=dict)
+    #: Local-pref override per (neighbor ASN, prefix); wins over everything.
+    prefix_local_pref: Dict[Tuple[int, Prefix], int] = field(default_factory=dict)
+    #: IGP cost to the egress point toward each neighbor (hot potato).
+    igp_cost: Dict[int, int] = field(default_factory=dict)
+    #: Origin-only: prefixes announced to a restricted neighbor set.
+    selective_export: Dict[Prefix, FrozenSet[int]] = field(default_factory=dict)
+    #: Origin-only: extra AS-path prepends per (prefix, neighbor) —
+    #: inbound traffic engineering that inflates announced path length.
+    export_prepend: Dict[Tuple[Prefix, int], int] = field(default_factory=dict)
+    #: Customers that only buy partial transit: they receive customer- and
+    #: peer-learned routes but not provider-learned ones.
+    partial_transit_to: Set[int] = field(default_factory=set)
+    #: Prefer routes whose ASes all sit in the home country.
+    home_country: str = ""
+    prefers_domestic: bool = False
+    #: Drop announcements carrying AS-set segments (poison filtering).
+    filters_poisoned: bool = False
+    #: Accept announcements containing our own ASN (broken loop prevention).
+    loop_prevention_disabled: bool = False
+
+    # ------------------------------------------------------------------
+    # Import side
+    # ------------------------------------------------------------------
+    def accepts(self, as_path: ASPathAttribute) -> bool:
+        """Import filter: loop prevention and poison filtering."""
+        if self.filters_poisoned and any(
+            isinstance(segment, frozenset) for segment in as_path.segments
+        ):
+            return False
+        if not self.loop_prevention_disabled and as_path.contains(self.asn):
+            return False
+        return True
+
+    def local_pref_for(
+        self,
+        neighbor: int,
+        relationship: Relationship,
+        prefix: Prefix,
+        as_path: ASPathAttribute,
+        country_of: Optional[CountryLookup] = None,
+    ) -> int:
+        """Local preference assigned to a route from ``neighbor``."""
+        override = self.prefix_local_pref.get((neighbor, prefix))
+        if override is not None:
+            base = override
+        elif neighbor in self.neighbor_local_pref:
+            base = self.neighbor_local_pref[neighbor]
+        else:
+            base = DEFAULT_LOCAL_PREF[relationship]
+        if self.prefers_domestic and self.home_country and country_of is not None:
+            if self._is_domestic(as_path, country_of):
+                base += DOMESTIC_BONUS
+        return base
+
+    def _is_domestic(self, as_path: ASPathAttribute, country_of: CountryLookup) -> bool:
+        """Whether every sequence hop is registered in the home country."""
+        hops = as_path.sequence()
+        if not hops:
+            return False
+        for asn in hops:
+            if country_of(asn) != self.home_country:
+                return False
+        return True
+
+    def igp_cost_for(self, neighbor: int) -> int:
+        return self.igp_cost.get(neighbor, 0)
+
+    # ------------------------------------------------------------------
+    # Export side
+    # ------------------------------------------------------------------
+    def exports_origin_prefix(self, prefix: Prefix, to_neighbor: int) -> bool:
+        """Selective prefix announcement for locally originated prefixes."""
+        allowed = self.selective_export.get(prefix)
+        return allowed is None or to_neighbor in allowed
+
+    def should_export(
+        self, route: Route, to_neighbor: int, to_relationship: Relationship
+    ) -> bool:
+        """Whether a learned route is exported to ``to_neighbor``.
+
+        Applies the Gao-Rexford rule, then partial-transit restriction:
+        customers buying partial transit never receive provider-learned
+        routes.
+        """
+        if to_neighbor == route.learned_from:
+            return False
+        if not can_export(route.effective_class, to_relationship):
+            return False
+        if (
+            to_neighbor in self.partial_transit_to
+            and route.effective_class is Relationship.PROVIDER
+        ):
+            return False
+        return True

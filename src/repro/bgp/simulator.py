@@ -1,0 +1,182 @@
+"""Event-driven BGP propagation over an AS graph.
+
+The simulator wires one :class:`~repro.bgp.speaker.BGPSpeaker` per AS in
+a ground-truth :class:`~repro.topology.graph.ASGraph`, delivers update
+messages in deterministic FIFO order, and runs the network to a fixed
+point after each origination change.  A logical clock advances once per
+delivered message; it is the time base for the route-age tie-breaker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.policy import CountryLookup, Policy
+from repro.bgp.routes import LocalRoute, Route
+from repro.bgp.speaker import BGPSpeaker
+from repro.net.ip import Prefix
+from repro.topology.graph import ASGraph
+
+
+class ConvergenceError(RuntimeError):
+    """The network failed to reach a fixed point within the event budget."""
+
+
+class BGPSimulator:
+    """Propagates BGP routes across an AS topology until convergence."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        policies: Optional[Dict[int, Policy]] = None,
+        country_of: Optional[CountryLookup] = None,
+        max_events_per_link: int = 400,
+        flap_limit: int = 60,
+    ) -> None:
+        self.graph = graph
+        self._country_of = country_of
+        policies = policies or {}
+        self.speakers: Dict[int, BGPSpeaker] = {}
+        for asn in graph.asns():
+            policy = policies.get(asn) or Policy(asn=asn)
+            self.speakers[asn] = BGPSpeaker(
+                asn,
+                policy,
+                graph.neighbors(asn),
+                relationship_resolver=graph.relationship,
+                flap_limit=flap_limit,
+            )
+        self.clock = 0
+        num_links = max(1, graph.num_links())
+        self._max_events = max_events_per_link * num_links
+        #: FIFO of (destination ASN, message) awaiting delivery.
+        self._queue: Deque[Tuple[int, object]] = deque()
+
+    # ------------------------------------------------------------------
+    # Origination API
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        asn: int,
+        prefix: Prefix,
+        poisoned: Iterable[int] = (),
+    ) -> None:
+        """Announce ``prefix`` from ``asn`` and converge the network.
+
+        ``poisoned`` ASNs are carried in an AS-set wrapped by the
+        origin's ASN (the paper's poisoning mechanism); those ASes will
+        reject the announcement through loop prevention.
+        """
+        speaker = self._speaker(asn)
+        speaker.originate(
+            LocalRoute(prefix=prefix, origin_asn=asn, poisoned=frozenset(poisoned))
+        )
+        # Exports are re-evaluated even when the local route is
+        # unchanged: the origin's export policy may have been edited
+        # (e.g. PEERING steering announcements to a different mux set).
+        self._new_epoch()
+        self._enqueue_exports(asn, prefix)
+        self.run()
+
+    def withdraw(self, asn: int, prefix: Prefix) -> None:
+        """Withdraw ``asn``'s origination of ``prefix`` and converge."""
+        speaker = self._speaker(asn)
+        if speaker.withdraw_origin(prefix):
+            self._new_epoch()
+            self._enqueue_exports(asn, prefix)
+        self.run()
+
+    def _new_epoch(self) -> None:
+        for speaker in self.speakers.values():
+            speaker.reset_damping()
+
+    # ------------------------------------------------------------------
+    # Propagation engine
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Deliver queued messages to a fixed point; returns event count."""
+        delivered = 0
+        while self._queue:
+            if delivered >= self._max_events:
+                raise ConvergenceError(
+                    f"no convergence after {delivered} events; "
+                    "likely a policy dispute wheel"
+                )
+            target, message = self._queue.popleft()
+            self.clock += 1
+            delivered += 1
+            speaker = self.speakers[target]
+            best_changed = speaker.receive(message, self.clock, self._country_of)
+            if best_changed:
+                self._enqueue_exports(target, message.prefix)
+        return delivered
+
+    def _enqueue_exports(self, asn: int, prefix: Prefix) -> None:
+        speaker = self.speakers[asn]
+        for neighbor in sorted(speaker.neighbors):
+            message = speaker.pending_export(prefix, neighbor)
+            if message is not None:
+                self._queue.append((neighbor, message))
+
+    def _speaker(self, asn: int) -> BGPSpeaker:
+        speaker = self.speakers.get(asn)
+        if speaker is None:
+            raise KeyError(f"AS{asn} is not in the topology")
+        return speaker
+
+    # ------------------------------------------------------------------
+    # Inspection API
+    # ------------------------------------------------------------------
+    def best_route(self, asn: int, prefix: Prefix) -> Optional[Route]:
+        return self._speaker(asn).best(prefix)
+
+    def decision_step(self, asn: int, prefix: Prefix):
+        return self._speaker(asn).decision_step(prefix)
+
+    def candidate_routes(self, asn: int, prefix: Prefix) -> List[Route]:
+        return self._speaker(asn).candidates(prefix)
+
+    def forwarding_path(self, asn: int, prefix: Prefix) -> Optional[Tuple[int, ...]]:
+        """The AS-level data-plane path from ``asn`` toward ``prefix``.
+
+        Follows each AS's best route's next hop; returns ``None`` when
+        some AS on the way has no route or a forwarding loop appears
+        (possible transiently or under broken policies).
+        """
+        path: List[int] = []
+        visited = set()
+        current = asn
+        while True:
+            if current in visited:
+                return None
+            visited.add(current)
+            path.append(current)
+            speaker = self._speaker(current)
+            route = speaker.best(prefix)
+            if route is None:
+                return None
+            if route.learned_from == current:
+                return tuple(path)
+            current = route.learned_from
+
+    def damped_ases(self) -> Dict[int, frozenset]:
+        """ASes whose state was frozen by flap damping this epoch."""
+        return {
+            asn: speaker.damped_prefixes
+            for asn, speaker in self.speakers.items()
+            if speaker.damped_prefixes
+        }
+
+    def rib_dump(self, prefix: Prefix) -> Dict[int, Route]:
+        """Best route per AS for ``prefix`` (ASes with a route only)."""
+        dump = {}
+        for asn, speaker in self.speakers.items():
+            route = speaker.best(prefix)
+            if route is not None:
+                dump[asn] = route
+        return dump
+
+    def reachable_ases(self, prefix: Prefix) -> frozenset:
+        return frozenset(self.rib_dump(prefix))

@@ -1,0 +1,271 @@
+"""Analysis of the active control-plane experiments (Sections 3.2, 4.4).
+
+Two analyses over the PEERING experiment observations:
+
+* **Alternate-route orders** — does the sequence of routes a target AS
+  falls back to under iterative poisoning respect Best (relationship
+  preference never improves down the list) and Shortest (lengths never
+  shrink down the list)?
+* **Magnet decision inference (Table 2)** — after anycasting a prefix
+  previously announced from one magnet location, infer which BGP
+  decision step explains each AS's choice, using only the routes
+  monitoring observed for that AS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.decision import DecisionStep
+from repro.peering.experiments import (
+    AlternateRouteObservation,
+    MagnetObservation,
+    RouteView,
+)
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+
+
+# ---------------------------------------------------------------------------
+# Alternate-route preference orders (Section 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PreferenceViolation:
+    """A consecutive route pair breaking Best or Short ordering."""
+
+    target: int
+    preferred: RouteView
+    fallback: RouteView
+    preferred_relationship: Optional[Relationship]
+    fallback_relationship: Optional[Relationship]
+
+
+@dataclass
+class PreferenceOrderSummary:
+    """Section 4.4's headline numbers."""
+
+    total_targets: int = 0
+    both: int = 0
+    best_only: int = 0
+    short_only: int = 0
+    neither: int = 0
+    violations: List[PreferenceViolation] = field(default_factory=list)
+
+    def fraction(self, attribute: str) -> float:
+        if self.total_targets == 0:
+            return 0.0
+        return getattr(self, attribute) / self.total_targets
+
+
+def _relationship_rank(
+    graph: ASGraph, asn: int, neighbor: int
+) -> Optional[int]:
+    relationship = graph.relationship(asn, neighbor)
+    return None if relationship is None else relationship.rank()
+
+
+def classify_preference_orders(
+    observations: Iterable[AlternateRouteObservation], graph: ASGraph
+) -> PreferenceOrderSummary:
+    """Grade each target's discovered preference order against the model.
+
+    Targets with fewer than two discovered routes carry no ordering
+    information and are skipped.  Consecutive pairs whose relationship
+    is unknown in the inferred topology do not affect the Best grade
+    (the model cannot judge them).
+    """
+    summary = PreferenceOrderSummary()
+    for observation in observations:
+        routes = observation.routes
+        if len(routes) < 2:
+            continue
+        summary.total_targets += 1
+        best_ok = True
+        short_ok = True
+        for preferred, fallback in zip(routes[:-1], routes[1:]):
+            rank_a = _relationship_rank(graph, observation.target, preferred.next_hop)
+            rank_b = _relationship_rank(graph, observation.target, fallback.next_hop)
+            if rank_a is not None and rank_b is not None and rank_a > rank_b:
+                best_ok = False
+                summary.violations.append(
+                    PreferenceViolation(
+                        target=observation.target,
+                        preferred=preferred,
+                        fallback=fallback,
+                        preferred_relationship=graph.relationship(
+                            observation.target, preferred.next_hop
+                        ),
+                        fallback_relationship=graph.relationship(
+                            observation.target, fallback.next_hop
+                        ),
+                    )
+                )
+            if len(preferred.path) > len(fallback.path):
+                short_ok = False
+        if best_ok and short_ok:
+            summary.both += 1
+        elif best_ok:
+            summary.best_only += 1
+        elif short_ok:
+            summary.short_only += 1
+        else:
+            summary.neither += 1
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Magnet decision inference (Table 2)
+# ---------------------------------------------------------------------------
+
+
+class InferredTrigger(enum.Enum):
+    """Table 2's row labels."""
+
+    BEST_RELATIONSHIP = "Best relationship"
+    SHORTER_PATH = "Shorter path"
+    INTRADOMAIN = "Intradomain tie-breaker"
+    OLDEST_ROUTE = "Oldest route (magnet)"
+    VIOLATION = "Violation"
+
+
+#: Mapping from simulator ground truth to Table 2 buckets, used when
+#: validating the inference procedure.
+_TRUTH_TO_TRIGGER = {
+    DecisionStep.LOCAL_PREF: InferredTrigger.BEST_RELATIONSHIP,
+    DecisionStep.PATH_LENGTH: InferredTrigger.SHORTER_PATH,
+    DecisionStep.IGP_COST: InferredTrigger.INTRADOMAIN,
+    DecisionStep.ROUTE_AGE: InferredTrigger.OLDEST_ROUTE,
+    DecisionStep.ROUTER_ID: InferredTrigger.INTRADOMAIN,
+}
+
+
+@dataclass
+class MagnetDecisionTable:
+    """Inferred decision triggers per observation channel."""
+
+    feed_counts: Dict[InferredTrigger, int] = field(
+        default_factory=lambda: {trigger: 0 for trigger in InferredTrigger}
+    )
+    traceroute_counts: Dict[InferredTrigger, int] = field(
+        default_factory=lambda: {trigger: 0 for trigger in InferredTrigger}
+    )
+    #: (inferred, truth-derived) pairs for validation.
+    validation: List[Tuple[InferredTrigger, Optional[InferredTrigger]]] = field(
+        default_factory=list
+    )
+
+    def total(self, channel: str) -> int:
+        return sum(self._channel(channel).values())
+
+    def percent(self, channel: str, trigger: InferredTrigger) -> float:
+        total = self.total(channel)
+        if total == 0:
+            return 0.0
+        return 100.0 * self._channel(channel)[trigger] / total
+
+    def _channel(self, channel: str) -> Dict[InferredTrigger, int]:
+        if channel == "feeds":
+            return self.feed_counts
+        if channel == "traceroutes":
+            return self.traceroute_counts
+        raise ValueError(f"unknown channel {channel!r}")
+
+    def inference_accuracy(self) -> float:
+        """Fraction of inferences matching simulator ground truth."""
+        comparable = [
+            (inferred, truth)
+            for inferred, truth in self.validation
+            if truth is not None and inferred is not InferredTrigger.VIOLATION
+        ]
+        if not comparable:
+            return 0.0
+        matches = sum(1 for inferred, truth in comparable if inferred == truth)
+        return matches / len(comparable)
+
+
+def _observed_routes_per_as(
+    observations: Sequence[MagnetObservation],
+) -> Dict[int, Set[RouteView]]:
+    observed: Dict[int, Set[RouteView]] = {}
+    for observation in observations:
+        for views in (observation.magnet_routes, observation.anycast_routes):
+            for asn, view in views.items():
+                observed.setdefault(asn, set()).add(view)
+    return observed
+
+
+def _infer_trigger(
+    graph: ASGraph,
+    asn: int,
+    chosen: RouteView,
+    magnet: RouteView,
+    alternatives: Set[RouteView],
+) -> InferredTrigger:
+    """The paper's inference procedure for one AS's anycast decision."""
+
+    def rank(view: RouteView) -> int:
+        value = _relationship_rank(graph, asn, view.next_hop)
+        # Unknown relationships grade as provider (most expensive).
+        return Relationship.PROVIDER.rank() if value is None else value
+
+    chosen_rank = rank(chosen)
+    best_alt_rank = min(rank(view) for view in alternatives)
+    best_alt_len = min(len(view.path) for view in alternatives)
+    same_rank_alt_len = min(
+        (len(view.path) for view in alternatives if rank(view) == chosen_rank),
+        default=None,
+    )
+    if chosen_rank > best_alt_rank:
+        return InferredTrigger.VIOLATION
+    if (
+        chosen_rank == best_alt_rank
+        and same_rank_alt_len is not None
+        and len(chosen.path) > same_rank_alt_len
+    ):
+        return InferredTrigger.VIOLATION
+    if chosen_rank < best_alt_rank:
+        return InferredTrigger.BEST_RELATIONSHIP
+    if len(chosen.path) < best_alt_len:
+        return InferredTrigger.SHORTER_PATH
+    if chosen == magnet:
+        return InferredTrigger.OLDEST_ROUTE
+    return InferredTrigger.INTRADOMAIN
+
+
+def infer_magnet_decisions(
+    observations: Sequence[MagnetObservation], graph: ASGraph
+) -> MagnetDecisionTable:
+    """Build Table 2 from magnet observations and an inferred topology.
+
+    Only ASes observed with at least two distinct routes can be
+    classified — with a single observed route there is nothing to
+    compare, exactly the paper's visibility constraint.
+    """
+    observed = _observed_routes_per_as(observations)
+    table = MagnetDecisionTable()
+    for observation in observations:
+        for asn, chosen in observation.anycast_routes.items():
+            magnet = observation.magnet_routes.get(asn)
+            if magnet is None:
+                continue
+            alternatives = observed.get(asn, set()) - {chosen}
+            if not alternatives:
+                continue
+            trigger = _infer_trigger(graph, asn, chosen, magnet, alternatives)
+            counted = False
+            if asn in observation.feed_visible:
+                table.feed_counts[trigger] += 1
+                counted = True
+            if asn in observation.vp_visible:
+                table.traceroute_counts[trigger] += 1
+                counted = True
+            if counted:
+                truth = observation.truth_decision_steps.get(asn)
+                table.validation.append(
+                    (trigger, _TRUTH_TO_TRIGGER.get(truth) if truth else None)
+                )
+    return table

@@ -1,0 +1,96 @@
+"""Violation case studies (paper Section 4.4).
+
+The paper dissects its three preference-order violations by hand: a
+European network preferring a transit route whose *suffix* is the
+fallback route (an unnecessary detour through OpenPeering), and two
+academic networks preferring provider routes over settlement-free peer
+routes that look like backup links.  This module extracts the same
+narratives automatically from discovery observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.active_analysis import PreferenceViolation
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One dissected preference-order violation."""
+
+    target: int
+    preferred_next_hop: int
+    fallback_next_hop: int
+    preferred_relationship: Optional[Relationship]
+    fallback_relationship: Optional[Relationship]
+    #: The paper's OpenPeering pattern: the fallback route is a suffix
+    #: of the preferred one, so the preferred route takes a detour.
+    unnecessary_detour: bool
+    #: The Internet2/Switch pattern: a cheaper (peer) route exists but
+    #: is only used as backup, suggesting a backup-link arrangement.
+    backup_link_suspected: bool
+    narrative: str
+
+
+def _is_suffix(shorter: Tuple[int, ...], longer: Tuple[int, ...]) -> bool:
+    if len(shorter) >= len(longer):
+        return False
+    return longer[len(longer) - len(shorter):] == shorter
+
+
+def build_case_study(violation: PreferenceViolation, graph: ASGraph) -> CaseStudy:
+    """Dissect one preference violation the way Section 4.4 does."""
+    preferred = violation.preferred
+    fallback = violation.fallback
+    detour = _is_suffix(fallback.path, preferred.path)
+    backup = (
+        violation.preferred_relationship is Relationship.PROVIDER
+        and violation.fallback_relationship is Relationship.PEER
+    )
+    pieces = [
+        f"AS{violation.target} first routes via AS{preferred.next_hop} "
+        f"({_rel_name(violation.preferred_relationship)}), then falls back "
+        f"to AS{fallback.next_hop} ({_rel_name(violation.fallback_relationship)})."
+    ]
+    if detour:
+        pieces.append(
+            "The fallback route is a suffix of the preferred route: the "
+            "preferred route includes an unnecessary detour."
+        )
+    if backup:
+        pieces.append(
+            "A settlement-free peer route exists but is used only as "
+            "backup; the inferred relationship likely mislabels a "
+            "backup arrangement."
+        )
+    if not detour and not backup:
+        pieces.append(
+            "Relationships are more complex than a single label: a "
+            "finer-grained per-neighbor ranking would be needed to "
+            "capture this preference."
+        )
+    return CaseStudy(
+        target=violation.target,
+        preferred_next_hop=preferred.next_hop,
+        fallback_next_hop=fallback.next_hop,
+        preferred_relationship=violation.preferred_relationship,
+        fallback_relationship=violation.fallback_relationship,
+        unnecessary_detour=detour,
+        backup_link_suspected=backup,
+        narrative=" ".join(pieces),
+    )
+
+
+def _rel_name(relationship: Optional[Relationship]) -> str:
+    return "unknown relationship" if relationship is None else relationship.value
+
+
+def build_case_studies(
+    violations: Sequence[PreferenceViolation], graph: ASGraph
+) -> List[CaseStudy]:
+    """Dissect every recorded preference violation."""
+    return [build_case_study(violation, graph) for violation in violations]

@@ -1,0 +1,221 @@
+"""Decision classification into the Best/Short taxonomy (Section 3.3).
+
+Every routing decision observed on a measured path — an AS ``x``
+forwarding toward destination ``d`` via next hop ``n`` — is graded on
+two properties against the Gao-Rexford model computed over the inferred
+topology:
+
+* **Best** — the relationship of ``n`` to ``x`` is at least as good as
+  the best class through which the model says ``x`` can reach ``d``.
+* **Short** — the measured path from ``x`` to ``d`` is no longer than
+  the route the model predicts for ``x``.
+
+Refinement layers adjust the grading exactly as the paper does: hybrid
+relationships substitute the per-city relationship at the geolocated
+interconnect (Section 4.1), sibling next hops count as Best (Section
+4.2), and prefix-specific-policy criteria restrict which first hops the
+destination's announcement reaches (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.net.ip import Prefix
+from repro.topology.complex_rel import ComplexRelationships
+from repro.topology.relationships import Relationship
+from repro.whois.siblings import SiblingGroups
+
+
+class DecisionLabel(enum.Enum):
+    """Figure 1's four categories."""
+
+    BEST_SHORT = "Best/Short"
+    NONBEST_SHORT = "NonBest/Short"
+    BEST_LONG = "Best/Long"
+    NONBEST_LONG = "NonBest/Long"
+
+    @classmethod
+    def from_properties(cls, best: bool, short: bool) -> "DecisionLabel":
+        if best:
+            return cls.BEST_SHORT if short else cls.BEST_LONG
+        return cls.NONBEST_SHORT if short else cls.NONBEST_LONG
+
+    @property
+    def is_violation(self) -> bool:
+        """Whether the decision deviates from the model on either axis."""
+        return self is not DecisionLabel.BEST_SHORT
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One observed routing decision."""
+
+    asn: int
+    next_hop: int
+    destination: int
+    prefix: Prefix
+    #: Edges from ``asn`` to the destination along the measured path.
+    measured_len: int
+    source_asn: int
+    path: Tuple[int, ...] = ()
+    #: Geolocated city of the interconnect between asn and next_hop.
+    border_city: Optional[str] = None
+    dns_name: str = ""
+
+
+@dataclass
+class LabelCounts:
+    """Tally of decisions per label, with percentage helpers."""
+
+    counts: Dict[DecisionLabel, int] = field(
+        default_factory=lambda: {label: 0 for label in DecisionLabel}
+    )
+
+    def add(self, label: DecisionLabel, count: int = 1) -> None:
+        self.counts[label] += count
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, label: DecisionLabel) -> float:
+        total = self.total()
+        return 0.0 if total == 0 else self.counts[label] / total
+
+    def percent(self, label: DecisionLabel) -> float:
+        return 100.0 * self.fraction(label)
+
+    def violations(self) -> int:
+        return self.total() - self.counts[DecisionLabel.BEST_SHORT]
+
+    def as_percent_dict(self) -> Dict[str, float]:
+        return {label.value: round(self.percent(label), 1) for label in DecisionLabel}
+
+    def __add__(self, other: "LabelCounts") -> "LabelCounts":
+        merged = LabelCounts()
+        for label in DecisionLabel:
+            merged.counts[label] = self.counts[label] + other.counts[label]
+        return merged
+
+
+def _best_property(
+    decision: Decision,
+    engine: GaoRexfordEngine,
+    allowed_first_hops: Optional[FrozenSet[int]],
+    complex_rel: Optional[ComplexRelationships],
+    siblings: Optional[SiblingGroups],
+) -> bool:
+    """Grade the Best property for one decision."""
+    if siblings is not None and siblings.are_siblings(decision.asn, decision.next_hop):
+        # Traffic handed to a sibling stays inside the organization; the
+        # paper marks these decisions as satisfying Best (Section 4.2).
+        return True
+    relationship = engine.graph.relationship(decision.asn, decision.next_hop)
+    if complex_rel is not None:
+        hybrid = complex_rel.hybrid_relationship(
+            decision.asn, decision.next_hop, decision.border_city
+        )
+        if hybrid is not None:
+            relationship = hybrid
+    if relationship is None:
+        # The measured adjacency is absent from the inferred topology;
+        # the model cannot call it Best.
+        return False
+    info = engine.routing_info(decision.destination, allowed_first_hops)
+    best_class = info.best_class(decision.asn)
+    if best_class is None:
+        # The model offers no route at all, so any real choice beats it.
+        return True
+    return relationship.rank() <= best_class.rank()
+
+
+def _short_property(
+    decision: Decision,
+    engine: GaoRexfordEngine,
+    allowed_first_hops: Optional[FrozenSet[int]],
+) -> bool:
+    """Grade the Short property for one decision.
+
+    Measured paths may be *shorter* than the model's prediction when
+    they use links the inferred topology misses; those still count as
+    Short (the AS is not taking a longer path than the model expects).
+    """
+    info = engine.routing_info(decision.destination, allowed_first_hops)
+    model_len = info.gr_route_length(decision.asn)
+    if model_len is None:
+        return True
+    return decision.measured_len <= model_len
+
+
+def classify_decision(
+    decision: Decision,
+    engine: GaoRexfordEngine,
+    allowed_first_hops: Optional[FrozenSet[int]] = None,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> DecisionLabel:
+    """Classify one decision under a given refinement configuration."""
+    best = _best_property(decision, engine, allowed_first_hops, complex_rel, siblings)
+    short = _short_property(decision, engine, allowed_first_hops)
+    return DecisionLabel.from_properties(best, short)
+
+
+def classify_decisions(
+    decisions: Iterable[Decision],
+    engine: GaoRexfordEngine,
+    first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> LabelCounts:
+    """Classify a batch of decisions into a :class:`LabelCounts`.
+
+    ``first_hops_for`` maps a prefix to the allowed first-hop set the
+    PSP criteria computed for it; prefixes absent from the map are
+    unrestricted.
+    """
+    counts = LabelCounts()
+    for decision in decisions:
+        allowed = None
+        if first_hops_for is not None:
+            allowed = first_hops_for.get(decision.prefix)
+        counts.add(
+            classify_decision(
+                decision,
+                engine,
+                allowed_first_hops=allowed,
+                complex_rel=complex_rel,
+                siblings=siblings,
+            )
+        )
+    return counts
+
+
+def label_decisions(
+    decisions: Iterable[Decision],
+    engine: GaoRexfordEngine,
+    first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> List[Tuple[Decision, DecisionLabel]]:
+    """Like :func:`classify_decisions` but keeps per-decision labels."""
+    labeled = []
+    for decision in decisions:
+        allowed = None
+        if first_hops_for is not None:
+            allowed = first_hops_for.get(decision.prefix)
+        labeled.append(
+            (
+                decision,
+                classify_decision(
+                    decision,
+                    engine,
+                    allowed_first_hops=allowed,
+                    complex_rel=complex_rel,
+                    siblings=siblings,
+                ),
+            )
+        )
+    return labeled

@@ -1,0 +1,478 @@
+"""End-to-end study orchestration.
+
+:class:`Study` wires the full reproduction together: generate a
+synthetic Internet, derive inferred topology snapshots and aggregate
+them (Section 3.3), run the passive traceroute campaign (Section 3.1),
+convert traceroutes to AS paths and routing decisions, classify the
+decisions under every refinement layer (Figure 1), run the skew and
+geography analyses (Figures 2-3, Tables 3-4), validate PSP cases
+against looking glasses, and optionally run the active PEERING
+experiments (Table 2, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.atlas.campaign import CampaignConfig, CampaignDataset, Measurement, run_campaign
+from repro.atlas.probes import Probe, generate_probes
+from repro.atlas.selection import select_probes_balanced, select_probes_greedy
+from repro.bgp.simulator import BGPSimulator
+from repro.core.active_analysis import (
+    MagnetDecisionTable,
+    PreferenceOrderSummary,
+    classify_preference_orders,
+    infer_magnet_decisions,
+)
+from repro.core.classification import (
+    Decision,
+    DecisionLabel,
+    LabelCounts,
+    classify_decisions,
+    label_decisions,
+)
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.geography import (
+    CableSummary,
+    ContinentalBreakdown,
+    DomesticRow,
+    GeographyAnalysis,
+    LabeledTrace,
+)
+from repro.core.looking_glass import LookingGlassDeployment, PSPValidation, validate_psp_cases
+from repro.core.psp import PrefixPolicyAnalysis, PSPCase
+from repro.core.skew import ViolationSkew, compute_skew
+from repro.ipmap.geolocation import GeoDatabase
+from repro.ipmap.ip2as import IPToASMapper
+from repro.ipmap.path_conversion import ASLevelPath, convert_traceroute
+from repro.net.ip import Prefix
+from repro.peering.collectors import FeedArchive, default_collectors
+from repro.peering.experiments import (
+    DiscoveryResult,
+    discover_alternate_routes,
+    run_magnet_experiments,
+)
+from repro.peering.testbed import PeeringTestbed
+from repro.topogen.config import TopologyConfig
+from repro.topogen.generator import generate_internet
+from repro.topogen.inference import InferenceConfig, inferred_snapshots
+from repro.topogen.internet import Internet
+from repro.topology.aggregate import aggregate_snapshots
+from repro.topology.classify_as import classify_all
+from repro.topology.asys import ASType
+from repro.topology.graph import ASGraph
+from repro.whois.siblings import SiblingGroups, infer_siblings
+
+#: Figure 1's layer names, in presentation order.
+FIGURE1_LAYERS = ("Simple", "Complex", "Sibs", "PSP-1", "PSP-2", "All-1", "All-2")
+
+
+@dataclass
+class StudyConfig:
+    """All the knobs of one end-to-end study."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+    seed: int = 0
+    num_probes: int = 1000
+    probes_per_continent: int = 50
+    geo_error_rate: float = 0.02
+    geo_miss_rate: float = 0.03
+    missing_hop_rate: float = 0.04
+    lg_deployment_rate: float = 0.25
+    #: Run the PEERING active experiments too.
+    active_experiments: bool = True
+    num_muxes: int = 7
+    active_vp_budget: int = 96
+    max_discovery_targets: int = 36
+
+
+@dataclass
+class ProbeTableRow:
+    """One Table 1 row."""
+
+    as_type: ASType
+    probes: int
+    distinct_ases: int
+    distinct_countries: int
+
+
+@dataclass
+class StudyResults:
+    """Everything a study produced, consumed by benchmarks and reports."""
+
+    config: StudyConfig
+    internet: Internet
+    inferred: ASGraph
+    siblings: SiblingGroups
+    probes: List[Probe]
+    selected_probes: List[Probe]
+    dataset: CampaignDataset
+    decisions: List[Decision]
+    traces: List[LabeledTrace]
+    figure1: Dict[str, LabelCounts]
+    labeled_simple: List[Tuple[Decision, DecisionLabel]]
+    skew: ViolationSkew
+    continental: ContinentalBreakdown
+    domestic_rows: List[DomesticRow]
+    cable_summary: CableSummary
+    psp_cases_1: List[PSPCase]
+    psp_cases_2: List[PSPCase]
+    psp_validation: PSPValidation
+    probe_table: List[ProbeTableRow]
+    #: Reusable build artifacts for benchmarks and ablations.
+    engine: Optional[GaoRexfordEngine] = None
+    geo: Optional[GeoDatabase] = None
+    feeds: Optional[FeedArchive] = None
+    snapshots: List[ASGraph] = field(default_factory=list)
+    origins: Dict[Prefix, int] = field(default_factory=dict)
+    first_hops_1: Dict[Prefix, FrozenSet[int]] = field(default_factory=dict)
+    first_hops_2: Dict[Prefix, FrozenSet[int]] = field(default_factory=dict)
+    preference_summary: Optional[PreferenceOrderSummary] = None
+    discovery: Optional[DiscoveryResult] = None
+    magnet_table: Optional[MagnetDecisionTable] = None
+    magnet_observations: List = field(default_factory=list)
+
+
+class Study:
+    """Builds and runs the full reproduction pipeline.
+
+    Pass a pre-built ``internet`` (e.g. loaded with
+    :func:`repro.topogen.load_internet`) to study a shared dataset
+    instead of regenerating one; note the study mutates it when active
+    experiments are enabled (the PEERING testbed installs itself).
+    """
+
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        internet: Optional[Internet] = None,
+    ) -> None:
+        self.config = config or StudyConfig()
+        self._internet = internet
+        self._results: Optional[StudyResults] = None
+
+    def run(self) -> StudyResults:
+        """Run every stage; results are cached after the first call."""
+        if self._results is not None:
+            return self._results
+        config = self.config
+        seed = config.seed
+
+        # Stage 1: the world and what inference sees of it.
+        internet = self._internet or generate_internet(config.topology, seed=seed)
+        snapshots, known_complex = inferred_snapshots(
+            internet, config.inference, seed=seed + 1
+        )
+        inferred = aggregate_snapshots(snapshots)
+        siblings = infer_siblings(internet.whois, internet.soa)
+
+        # Stage 2: testbed install (before the simulator is built, so
+        # PEERING's links exist in the speakers' world).
+        testbed = None
+        if config.active_experiments:
+            testbed = PeeringTestbed(
+                internet, num_muxes=config.num_muxes, seed=seed + 2
+            )
+
+        # Stage 3: probes and the passive campaign.
+        probes = generate_probes(internet, count=config.num_probes, seed=seed + 3)
+        selected = select_probes_balanced(
+            probes, per_continent=config.probes_per_continent, seed=seed + 4
+        )
+        dataset = run_campaign(
+            internet,
+            selected,
+            CampaignConfig(seed=seed + 5, missing_hop_rate=config.missing_hop_rate),
+        )
+
+        # Stage 4: control-plane visibility.
+        feeds = FeedArchive(default_collectors(internet, seed=seed + 6))
+        all_prefixes = [
+            prefix
+            for prefixes in dataset.destination_prefixes.values()
+            for prefix in prefixes
+        ]
+        feeds.record(dataset.simulator, all_prefixes)
+
+        # Stage 5: measurement-pipeline datasets.
+        mapper = IPToASMapper.from_prefix_map(internet.prefixes)
+        geo = GeoDatabase.from_internet(
+            internet,
+            error_rate=config.geo_error_rate,
+            miss_rate=config.geo_miss_rate,
+            seed=seed + 7,
+        )
+
+        # Stage 6: decisions from traceroutes.
+        per_measurement = self._extract_decisions(dataset, mapper, geo)
+        decisions = [
+            decision for _m, _path, group in per_measurement for decision in group
+        ]
+
+        # Stage 7: classification layers (Figure 1).
+        engine_simple = GaoRexfordEngine(inferred)
+        partial = frozenset(
+            (entry.provider, entry.customer)
+            for entry in known_complex.partial_transit_entries()
+        )
+        engine_complex = GaoRexfordEngine(inferred, partial_transit=partial)
+        origins: Dict[Prefix, int] = {}
+        for asn, prefixes in dataset.destination_prefixes.items():
+            for prefix in prefixes:
+                origins[prefix] = asn
+        psp = PrefixPolicyAnalysis(inferred, feeds)
+        first_hops_1 = psp.first_hops_map(origins, criterion=1)
+        first_hops_2 = psp.first_hops_map(origins, criterion=2)
+
+        figure1 = {
+            "Simple": classify_decisions(decisions, engine_simple),
+            "Complex": classify_decisions(
+                decisions, engine_complex, complex_rel=known_complex
+            ),
+            "Sibs": classify_decisions(decisions, engine_simple, siblings=siblings),
+            "PSP-1": classify_decisions(
+                decisions, engine_simple, first_hops_for=first_hops_1
+            ),
+            "PSP-2": classify_decisions(
+                decisions, engine_simple, first_hops_for=first_hops_2
+            ),
+            "All-1": classify_decisions(
+                decisions,
+                engine_complex,
+                first_hops_for=first_hops_1,
+                complex_rel=known_complex,
+                siblings=siblings,
+            ),
+            "All-2": classify_decisions(
+                decisions,
+                engine_complex,
+                first_hops_for=first_hops_2,
+                complex_rel=known_complex,
+                siblings=siblings,
+            ),
+        }
+
+        labeled_simple = label_decisions(decisions, engine_simple)
+        label_of = {id(d): label for d, label in labeled_simple}
+        traces: List[LabeledTrace] = []
+        for measurement, _path, group in per_measurement:
+            if not group:
+                continue
+            traces.append(
+                LabeledTrace(
+                    decisions=[(d, label_of[id(d)]) for d in group],
+                    hop_ips=measurement.traceroute.responding_ips(),
+                    source_continent=measurement.probe.continent,
+                )
+            )
+
+        # Stage 8: skew, geography, validation.
+        skew = compute_skew(labeled_simple)
+        geography = GeographyAnalysis(geo, internet.whois, internet.cables, engine_simple)
+        continental = geography.continental_breakdown(traces)
+        domestic = geography.domestic_rows(traces)
+        cable_summary = geography.cable_summary(traces)
+        psp_cases_1 = psp.cases(origins, criterion=1)
+        psp_cases_2 = psp.cases(origins, criterion=2)
+        looking_glasses = LookingGlassDeployment(
+            dataset.simulator, deployment_rate=config.lg_deployment_rate, seed=seed + 8
+        )
+        psp_validation = validate_psp_cases(psp_cases_1, looking_glasses)
+
+        probe_table = self._probe_table(selected, inferred)
+
+        results = StudyResults(
+            config=config,
+            internet=internet,
+            inferred=inferred,
+            siblings=siblings,
+            probes=probes,
+            selected_probes=selected,
+            dataset=dataset,
+            decisions=decisions,
+            traces=traces,
+            figure1=figure1,
+            labeled_simple=labeled_simple,
+            skew=skew,
+            continental=continental,
+            domestic_rows=domestic,
+            cable_summary=cable_summary,
+            psp_cases_1=psp_cases_1,
+            psp_cases_2=psp_cases_2,
+            psp_validation=psp_validation,
+            probe_table=probe_table,
+            engine=engine_simple,
+            geo=geo,
+            feeds=feeds,
+            snapshots=snapshots,
+            origins=origins,
+            first_hops_1=first_hops_1,
+            first_hops_2=first_hops_2,
+        )
+
+        # Stage 9: active experiments (Table 2, Section 4.4).
+        if testbed is not None:
+            self._run_active(results, testbed, probes, inferred, internet, seed)
+
+        self._results = results
+        return results
+
+    # ------------------------------------------------------------------
+    # Decision extraction
+    # ------------------------------------------------------------------
+    def _extract_decisions(
+        self,
+        dataset: CampaignDataset,
+        mapper: IPToASMapper,
+        geo: GeoDatabase,
+    ) -> List[Tuple[Measurement, ASLevelPath, List[Decision]]]:
+        extracted: List[Tuple[Measurement, ASLevelPath, List[Decision]]] = []
+        for measurement in dataset.successful():
+            path = convert_traceroute(measurement.traceroute, mapper)
+            if path is None:
+                continue
+            match = dataset.announced.lookup_with_prefix(
+                measurement.traceroute.destination_ip
+            )
+            if match is None:
+                continue
+            prefix, origin = match
+            border = self._border_cities(measurement, path, mapper, geo)
+            group: List[Decision] = []
+            hops = path.hops
+            for index in range(len(hops) - 1):
+                asn, next_hop = hops[index], hops[index + 1]
+                if asn == origin:
+                    break
+                group.append(
+                    Decision(
+                        asn=asn,
+                        next_hop=next_hop,
+                        destination=origin,
+                        prefix=prefix,
+                        measured_len=len(hops) - 1 - index,
+                        source_asn=hops[0],
+                        path=hops,
+                        border_city=border.get((asn, next_hop)),
+                        dns_name=measurement.dns_name,
+                    )
+                )
+            extracted.append((measurement, path, group))
+        return extracted
+
+    def _border_cities(
+        self,
+        measurement: Measurement,
+        path: ASLevelPath,
+        mapper: IPToASMapper,
+        geo: GeoDatabase,
+    ) -> Dict[Tuple[int, int], str]:
+        """Geolocated interconnect city per AS adjacency on the path.
+
+        Takes the last responding hop attributed to the upstream AS of
+        each adjacency — the egress border router — and geolocates it.
+        """
+        hop_as: List[Tuple[int, object]] = []
+        for hop in measurement.traceroute.hops:
+            if hop.ip is None:
+                continue
+            asn = mapper.lookup(hop.ip)
+            if asn is not None:
+                hop_as.append((asn, hop.ip))
+        borders: Dict[Tuple[int, int], str] = {}
+        for upstream, downstream in path.adjacencies():
+            last_ip = None
+            for asn, ip in hop_as:
+                if asn == upstream:
+                    last_ip = ip
+                if asn == downstream and last_ip is not None:
+                    break
+            if last_ip is None:
+                continue
+            city = geo.city_of(last_ip)
+            if city is not None:
+                borders[(upstream, downstream)] = city.name
+        return borders
+
+    # ------------------------------------------------------------------
+    # Table 1
+    # ------------------------------------------------------------------
+    def _probe_table(
+        self, selected: List[Probe], inferred: ASGraph
+    ) -> List[ProbeTableRow]:
+        types = classify_all(inferred)
+        rows: Dict[ASType, Tuple[int, Set[int], Set[str]]] = {}
+        for probe in selected:
+            as_type = types.get(probe.asn, ASType.STUB)
+            count, ases, countries = rows.get(as_type, (0, set(), set()))
+            ases = set(ases) | {probe.asn}
+            countries = set(countries) | {probe.country}
+            rows[as_type] = (count + 1, ases, countries)
+        table = []
+        for as_type in (ASType.STUB, ASType.SMALL_ISP, ASType.LARGE_ISP, ASType.TIER1):
+            count, ases, countries = rows.get(as_type, (0, set(), set()))
+            table.append(
+                ProbeTableRow(
+                    as_type=as_type,
+                    probes=count,
+                    distinct_ases=len(ases),
+                    distinct_countries=len(countries),
+                )
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # Active experiments
+    # ------------------------------------------------------------------
+    def _run_active(
+        self,
+        results: StudyResults,
+        testbed: PeeringTestbed,
+        probes: List[Probe],
+        inferred: ASGraph,
+        internet: Internet,
+        seed: int,
+    ) -> None:
+        config = self.config
+        simulator = results.dataset.simulator
+        discovery_prefix = testbed.prefixes[0]
+        testbed.announce(simulator, discovery_prefix)
+
+        def covered(probe: Probe) -> FrozenSet[int]:
+            path = simulator.forwarding_path(probe.asn, discovery_prefix)
+            return frozenset(path or ())
+
+        vp_probes = select_probes_greedy(probes, covered, budget=config.active_vp_budget)
+        vp_asns = sorted({probe.asn for probe in vp_probes})
+
+        # Targets: ASes observed on default paths toward PEERING,
+        # excluding PEERING itself and its direct mux hosts.
+        on_path: Set[int] = set()
+        for probe in vp_probes:
+            path = simulator.forwarding_path(probe.asn, discovery_prefix)
+            if path:
+                on_path.update(path[:-1])
+        targets = sorted(on_path - {testbed.asn})[: config.max_discovery_targets]
+
+        results.discovery = discover_alternate_routes(
+            testbed,
+            simulator,
+            targets,
+            prefix=discovery_prefix,
+            monitor_asns=vp_asns,
+        )
+        results.preference_summary = classify_preference_orders(
+            results.discovery.observations, inferred
+        )
+
+        magnet_feeds = FeedArchive(default_collectors(internet, seed=seed + 9))
+        observations = run_magnet_experiments(
+            testbed,
+            simulator,
+            magnet_feeds,
+            vp_asns=vp_asns,
+        )
+        results.magnet_observations = observations
+        results.magnet_table = infer_magnet_decisions(observations, inferred)

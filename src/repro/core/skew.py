@@ -1,0 +1,111 @@
+"""Violation skew across source and destination ASes (Figure 2).
+
+The paper asks which ASes account for most deviating decisions: if
+violations were spread evenly, the cumulative-fraction curve over ASes
+ranked by violation count would follow y = x; heavy skew (Akamai 21%,
+Netflix 17% of destination-side violations) bends it sharply upward.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.classification import Decision, DecisionLabel
+
+
+@dataclass
+class SkewCurve:
+    """Cumulative violation fraction by ranked AS."""
+
+    #: (asn, violation count) ranked most-violating first.
+    ranked: List[Tuple[int, int]] = field(default_factory=list)
+
+    def total(self) -> int:
+        return sum(count for _, count in self.ranked)
+
+    def cumulative_fractions(self) -> List[float]:
+        """The CDF values, one per ranked AS."""
+        total = self.total()
+        if total == 0:
+            return []
+        fractions = []
+        running = 0
+        for _, count in self.ranked:
+            running += count
+            fractions.append(running / total)
+        return fractions
+
+    def top_share(self, n: int = 1) -> float:
+        """Fraction of violations owned by the top ``n`` ASes."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(count for _, count in self.ranked[:n]) / total
+
+    def share_of(self, asn: int) -> float:
+        total = self.total()
+        if total == 0:
+            return 0.0
+        for ranked_asn, count in self.ranked:
+            if ranked_asn == asn:
+                return count / total
+        return 0.0
+
+    def gini_like_area(self) -> float:
+        """Area between the CDF and the y=x diagonal, in [0, 0.5).
+
+        Zero means violations are spread evenly; larger means skew.
+        """
+        fractions = self.cumulative_fractions()
+        n = len(fractions)
+        if n == 0:
+            return 0.0
+        area = 0.0
+        for index, value in enumerate(fractions, start=1):
+            area += value - index / n
+        return area / n
+
+
+@dataclass
+class ViolationSkew:
+    """Figure 2's content: skew by source and by destination AS."""
+
+    by_source: SkewCurve
+    by_destination: SkewCurve
+    #: Violation counts per label for context.
+    label_totals: Dict[DecisionLabel, int] = field(default_factory=dict)
+
+
+def compute_skew(
+    labeled: Iterable[Tuple[Decision, DecisionLabel]],
+    labels: Optional[Iterable[DecisionLabel]] = None,
+) -> ViolationSkew:
+    """Build the skew curves from labeled decisions.
+
+    ``labels`` selects which violation categories count (default: all
+    three non-Best/Short categories, as in Figure 2).
+    """
+    if labels is None:
+        selected = {
+            DecisionLabel.NONBEST_SHORT,
+            DecisionLabel.BEST_LONG,
+            DecisionLabel.NONBEST_LONG,
+        }
+    else:
+        selected = set(labels)
+    source_counts: Counter = Counter()
+    destination_counts: Counter = Counter()
+    label_totals: Counter = Counter()
+    for decision, label in labeled:
+        if label not in selected:
+            continue
+        label_totals[label] += 1
+        source_counts[decision.source_asn] += 1
+        destination_counts[decision.destination] += 1
+    return ViolationSkew(
+        by_source=SkewCurve(ranked=source_counts.most_common()),
+        by_destination=SkewCurve(ranked=destination_counts.most_common()),
+        label_totals=dict(label_totals),
+    )

@@ -1,0 +1,121 @@
+"""Per-AS forwarding tables derived from converged BGP state.
+
+BGP's Loc-RIB is per prefix; actual packet forwarding is a
+longest-prefix-match over whatever the router installed.  A
+:class:`ForwardingTable` materializes that FIB for one AS so the data
+plane can be driven by destination *addresses* (including
+more-specifics and covering routes), and :func:`data_path` walks
+packets hop by hop across ASes — detecting the forwarding loops and
+blackholes that inconsistent control planes produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.simulator import BGPSimulator
+from repro.net.ip import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class ForwardingEntry:
+    """One FIB entry: where packets for a prefix leave this AS."""
+
+    prefix: Prefix
+    next_hop_asn: int
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+
+class ForwardingTable:
+    """The FIB of one AS, supporting longest-prefix-match forwarding."""
+
+    def __init__(self, asn: int) -> None:
+        self.asn = asn
+        self._trie: PrefixTrie = PrefixTrie()
+
+    @classmethod
+    def from_simulator(cls, simulator: BGPSimulator, asn: int) -> "ForwardingTable":
+        """Materialize the FIB from the speaker's Loc-RIB."""
+        table = cls(asn)
+        speaker = simulator.speakers[asn]
+        for prefix in speaker.prefixes():
+            route = speaker.best(prefix)
+            if route is None:
+                continue
+            table.install(prefix, route.learned_from)
+        return table
+
+    def install(self, prefix: Prefix, next_hop_asn: int) -> None:
+        self._trie.insert(prefix, next_hop_asn)
+
+    def lookup(self, destination: IPAddress) -> Optional[int]:
+        """Next-hop ASN for a destination address; the AS's own ASN
+        means locally delivered; ``None`` means no route (blackhole)."""
+        return self._trie.lookup(destination)
+
+    def entries(self) -> List[ForwardingEntry]:
+        return [
+            ForwardingEntry(prefix=prefix, next_hop_asn=next_hop)
+            for prefix, next_hop in self._trie.items()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+@dataclass(frozen=True)
+class DataPath:
+    """Outcome of forwarding one packet across ASes."""
+
+    hops: Tuple[int, ...]
+    delivered: bool
+    looped: bool
+
+    @property
+    def blackholed(self) -> bool:
+        return not self.delivered and not self.looped
+
+
+def build_fibs(simulator: BGPSimulator) -> Dict[int, ForwardingTable]:
+    """Materialize every AS's FIB from a converged simulator."""
+    return {
+        asn: ForwardingTable.from_simulator(simulator, asn)
+        for asn in simulator.speakers
+    }
+
+
+def data_path(
+    fibs: Dict[int, ForwardingTable],
+    source_asn: int,
+    destination: IPAddress,
+    max_hops: int = 64,
+) -> DataPath:
+    """Forward a packet AS by AS using only the FIBs.
+
+    Unlike control-plane path reconstruction, this walk can expose
+    loops and blackholes when FIBs are mutually inconsistent (e.g.
+    after flap damping froze part of the network mid-change).
+    """
+    hops: List[int] = []
+    visited = set()
+    current = source_asn
+    while len(hops) < max_hops:
+        if current in visited:
+            return DataPath(hops=tuple(hops), delivered=False, looped=True)
+        visited.add(current)
+        hops.append(current)
+        fib = fibs.get(current)
+        if fib is None:
+            return DataPath(hops=tuple(hops), delivered=False, looped=False)
+        next_hop = fib.lookup(destination)
+        if next_hop is None:
+            return DataPath(hops=tuple(hops), delivered=False, looped=False)
+        if next_hop == current:
+            return DataPath(hops=tuple(hops), delivered=True, looped=False)
+        current = next_hop
+    return DataPath(hops=tuple(hops), delivered=False, looped=False)

@@ -1,0 +1,12 @@
+"""Per-table and per-figure experiment harnesses.
+
+Each module regenerates one table or figure from the paper's evaluation
+over a canonical seeded scenario and reports measured values next to
+the paper's, so the *shape* comparison (who wins, by what factor) is a
+one-line read.
+"""
+
+from repro.experiments.report import ExperimentReport, Row
+from repro.experiments.scenario import default_study, quick_study
+
+__all__ = ["ExperimentReport", "Row", "default_study", "quick_study"]

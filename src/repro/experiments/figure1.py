@@ -1,0 +1,76 @@
+"""Figure 1: breakdown of routing decisions per refinement layer.
+
+Paper anchors: 64.7% of passive decisions are Best/Short under the
+plain Gao-Rexford model and 34.3% deviate; only 8.3% are
+NonBest/Long; sibling grouping adds ~3.9 points; combining every
+refinement with PSP Criterion 1 reaches 85.7% Best/Short and with
+Criterion 2 reaches 75.7%.
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import FIGURE1_LAYERS, StudyResults
+from repro.experiments.report import ExperimentReport
+
+#: Best/Short percentage per layer as published (None where the paper
+#: gives no number for that bar).
+PAPER_BEST_SHORT = {
+    "Simple": 64.7,
+    "Complex": 65.0,
+    "Sibs": 68.6,
+    "PSP-1": None,
+    "PSP-2": None,
+    "All-1": 85.7,
+    "All-2": 75.7,
+}
+
+PAPER_NONBEST_LONG_SIMPLE = 8.3
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="Figure 1",
+        title="Routing-decision breakdown across refinement layers",
+    )
+    for layer in FIGURE1_LAYERS:
+        counts = study.figure1[layer]
+        report.add(
+            f"{layer} Best/Short",
+            PAPER_BEST_SHORT.get(layer),
+            counts.percent(DecisionLabel.BEST_SHORT),
+        )
+    simple = study.figure1["Simple"]
+    report.add(
+        "Simple NonBest/Long",
+        PAPER_NONBEST_LONG_SIMPLE,
+        simple.percent(DecisionLabel.NONBEST_LONG),
+    )
+    report.add(
+        "Simple deviating (any)",
+        34.3,
+        100.0 - simple.percent(DecisionLabel.BEST_SHORT),
+    )
+    report.add("decisions analyzed", None, float(simple.total()), unit="")
+    report.note(
+        "Shape check: refinements must monotonically grow Best/Short, "
+        "with PSP the largest single contributor and Complex near zero."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    """The qualitative claims the benchmark asserts."""
+    best_short = {
+        layer: study.figure1[layer].fraction(DecisionLabel.BEST_SHORT)
+        for layer in FIGURE1_LAYERS
+    }
+    simple = best_short["Simple"]
+    return (
+        0.50 <= simple <= 0.90  # majority follows the model, many do not
+        and best_short["All-1"] > simple + 0.03  # refinements recover a chunk
+        and best_short["All-1"] >= best_short["All-2"]  # criterion 1 aggressive
+        and best_short["PSP-1"] - simple
+        >= max(best_short["Sibs"] - simple, best_short["Complex"] - simple)
+        and abs(best_short["Complex"] - simple) < 0.02  # complex ~ no impact
+    )

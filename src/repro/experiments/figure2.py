@@ -1,0 +1,55 @@
+"""Figure 2: skew of violations across source and destination ASes.
+
+Paper anchors: destination ASes owned by Akamai account for 21% of
+violations and Netflix for 17%, while the source-side skew is milder
+(Cogent 4.1%, Time Warner 2.2%).
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import StudyResults
+from repro.experiments.report import ExperimentReport
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    skew = study.skew
+    report = ExperimentReport(
+        experiment_id="Figure 2",
+        title="Violation skew across source and destination ASes",
+    )
+    report.add("top destination AS share", 21.0, 100.0 * skew.by_destination.top_share(1))
+    report.add("2nd destination AS share", 17.0, 100.0 * (skew.by_destination.top_share(2) - skew.by_destination.top_share(1)))
+    report.add("top source AS share", 4.1, 100.0 * skew.by_source.top_share(1))
+    report.add("2nd source AS share", 2.2, 100.0 * (skew.by_source.top_share(2) - skew.by_source.top_share(1)))
+    report.add(
+        "destination skew area (0=even)", None, skew.by_destination.gini_like_area(), unit=""
+    )
+    report.add("source skew area (0=even)", None, skew.by_source.gini_like_area(), unit="")
+    report.add("violations total", None, float(skew.by_destination.total()), unit="")
+    report.note(
+        "Shape check: destination-side skew clearly exceeds source-side "
+        "skew, with content networks atop the destination ranking."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    skew = study.skew
+    if skew.by_destination.total() == 0:
+        return False
+    destination_top = skew.by_destination.top_share(1)
+    source_top = skew.by_source.top_share(1)
+    content_asns = set(study.internet.content_asns())
+    # The heaviest destination contributors should include content ASes
+    # or the eyeballs hosting their caches.
+    top_destinations = {asn for asn, _count in skew.by_destination.ranked[:5]}
+    replica_hosts = {
+        replica.asn
+        for provider in study.internet.content
+        for replica in provider.all_replicas()
+    }
+    return (
+        destination_top > source_top
+        and destination_top >= 0.05
+        and bool(top_destinations & (content_asns | replica_hosts))
+    )

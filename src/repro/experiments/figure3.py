@@ -1,0 +1,57 @@
+"""Figure 3: decision breakdown for continental vs intercontinental
+traceroutes.
+
+Paper anchors: 45% of traceroutes stay within one continent, and the
+fraction of decisions explained by Gao-Rexford is "significantly
+greater" for continental traceroutes than intercontinental ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import DecisionLabel
+from repro.core.geography import CONTINENT_ORDER
+from repro.core.pipeline import StudyResults
+from repro.experiments.report import ExperimentReport
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    breakdown = study.continental
+    report = ExperimentReport(
+        experiment_id="Figure 3",
+        title="Decisions on continental vs intercontinental traceroutes",
+    )
+    for code in CONTINENT_ORDER:
+        counts = breakdown.per_continent.get(code)
+        if counts is None or counts.total() == 0:
+            continue
+        report.add(
+            f"{code} Best/Short", None, counts.percent(DecisionLabel.BEST_SHORT)
+        )
+    report.add(
+        "Cont Best/Short", None, breakdown.continental.percent(DecisionLabel.BEST_SHORT)
+    )
+    report.add(
+        "Non-Cont Best/Short",
+        None,
+        breakdown.intercontinental.percent(DecisionLabel.BEST_SHORT),
+    )
+    report.add(
+        "continental share of decisions",
+        45.0,
+        100.0 * breakdown.continental_trace_fraction(),
+    )
+    report.note(
+        "Shape check: continental decisions follow the model markedly "
+        "more often than intercontinental ones."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    breakdown = study.continental
+    if breakdown.continental.total() == 0 or breakdown.intercontinental.total() == 0:
+        return False
+    continental = breakdown.continental.fraction(DecisionLabel.BEST_SHORT)
+    intercontinental = breakdown.intercontinental.fraction(DecisionLabel.BEST_SHORT)
+    share = breakdown.continental_trace_fraction()
+    return continental >= intercontinental + 0.05 and 0.2 <= share <= 0.7

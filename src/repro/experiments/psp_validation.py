@@ -1,0 +1,48 @@
+"""Section 4.3 validation: checking PSP inferences at looking glasses.
+
+Paper values: 63 prefix-specific-policy cases involving 149 unique
+neighbor ASes; looking glasses found in 28 of them; 10 cases manually
+verified with Criterion 1 correct 78% of the time.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import StudyResults
+from repro.core.psp import case_neighbor_count
+from repro.experiments.report import ExperimentReport
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    validation = study.psp_validation
+    report = ExperimentReport(
+        experiment_id="Section 4.3",
+        title="Looking-glass validation of prefix-specific policies",
+    )
+    report.add("PSP cases (criterion 1)", 63, float(validation.total_cases), unit="")
+    report.add(
+        "unique pruned neighbors", 149, float(validation.unique_neighbors), unit=""
+    )
+    report.add(
+        "neighbors with looking glass", 28, float(validation.neighbors_with_lg), unit=""
+    )
+    report.add("cases checked", 10, float(validation.checked), unit="")
+    report.add("criterion-1 precision", 78.0, 100.0 * validation.precision)
+    report.add(
+        "criterion-2 cases", None, float(len(study.psp_cases_2)), unit=""
+    )
+    report.note(
+        "Shape check: criterion 1 is usefully precise (well above 50%) "
+        "but not perfect; criterion 2 detects fewer cases."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    validation = study.psp_validation
+    if validation.checked < 5:
+        return False
+    return (
+        0.5 <= validation.precision <= 1.0
+        and len(study.psp_cases_2) <= len(study.psp_cases_1)
+        and case_neighbor_count(study.psp_cases_1) > 0
+    )

@@ -1,0 +1,36 @@
+"""Canonical study scenarios shared by benchmarks, tests and examples.
+
+Building a full study takes tens of seconds, so the scenarios are
+memoized per process: every benchmark file reuses the same converged
+study instead of rebuilding the world.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.pipeline import Study, StudyConfig, StudyResults
+from repro.topogen.config import TopologyConfig, small_config
+
+#: The seed every reported experiment uses.
+DEFAULT_SEED = 0
+
+
+@lru_cache(maxsize=None)
+def default_study(seed: int = DEFAULT_SEED) -> StudyResults:
+    """The full-scale scenario behind all reported tables and figures."""
+    return Study(StudyConfig(seed=seed)).run()
+
+
+@lru_cache(maxsize=None)
+def quick_study(seed: int = DEFAULT_SEED) -> StudyResults:
+    """A small scenario for fast tests (seconds, not half a minute)."""
+    config = StudyConfig(
+        topology=small_config(),
+        seed=seed,
+        num_probes=400,
+        probes_per_continent=25,
+        active_vp_budget=40,
+        max_discovery_targets=20,
+    )
+    return Study(config).run()

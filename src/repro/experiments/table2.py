@@ -1,0 +1,80 @@
+"""Table 2: BGP decisions observed after anycasting a magnet prefix.
+
+Paper values (BGP feeds / traceroutes): best relationship 46.0/42.4,
+shorter path 16.0/29.4, intradomain tie-breaker 16.4/15.6, oldest route
+2.5/1.6, violation 18.9/10.8 — the headline being that more than 17%
+of decisions hinge on intradomain tie-breakers and route age, which
+routing models ignore.
+"""
+
+from __future__ import annotations
+
+from repro.core.active_analysis import InferredTrigger, MagnetDecisionTable
+from repro.core.pipeline import StudyResults
+from repro.experiments.report import ExperimentReport
+
+PAPER = {
+    "feeds": {
+        InferredTrigger.BEST_RELATIONSHIP: 46.0,
+        InferredTrigger.SHORTER_PATH: 16.0,
+        InferredTrigger.INTRADOMAIN: 16.4,
+        InferredTrigger.OLDEST_ROUTE: 2.5,
+        InferredTrigger.VIOLATION: 18.9,
+    },
+    "traceroutes": {
+        InferredTrigger.BEST_RELATIONSHIP: 42.4,
+        InferredTrigger.SHORTER_PATH: 29.4,
+        InferredTrigger.INTRADOMAIN: 15.6,
+        InferredTrigger.OLDEST_ROUTE: 1.6,
+        InferredTrigger.VIOLATION: 10.8,
+    },
+}
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    table = study.magnet_table
+    if table is None:
+        raise ValueError("study ran without active experiments")
+    report = ExperimentReport(
+        experiment_id="Table 2",
+        title="BGP decision triggers after anycast (magnet experiment)",
+    )
+    for channel in ("feeds", "traceroutes"):
+        for trigger in InferredTrigger:
+            report.add(
+                f"{channel}: {trigger.value}",
+                PAPER[channel][trigger],
+                table.percent(channel, trigger),
+            )
+        report.add(f"{channel}: decisions", None, float(table.total(channel)), unit="")
+    report.add(
+        "inference accuracy vs ground truth",
+        None,
+        100.0 * table.inference_accuracy(),
+    )
+    report.note(
+        "Shape check: relationship+length dominate, but a noticeable "
+        "minority of decisions hinge on intradomain tie-breakers and "
+        "route age, invisible to standard models."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    table = study.magnet_table
+    if table is None or table.total("feeds") == 0:
+        return False
+    tiebreak = table.percent("feeds", InferredTrigger.INTRADOMAIN) + table.percent(
+        "feeds", InferredTrigger.OLDEST_ROUTE
+    )
+    explained = table.percent("feeds", InferredTrigger.BEST_RELATIONSHIP) + table.percent(
+        "feeds", InferredTrigger.SHORTER_PATH
+    )
+    # The paper's claim: >17% of decisions come from tie-breakers that
+    # models ignore, while relationship+length still explain a large
+    # share and violations stay a minority.
+    return (
+        tiebreak > 17.0
+        and explained > 25.0
+        and table.percent("feeds", InferredTrigger.VIOLATION) < 25.0
+    )

@@ -1,0 +1,62 @@
+"""Table 4: decisions attributable to undersea-cable ASes.
+
+Paper values: Non-Best & Short 3.0%, Best & Long 6.5%, Non-Best & Long
+4.5% of decisions of each type involve cable ASes; cable ASes appear on
+fewer than 2% of paths yet 51.2% of decisions involving them deviate
+from Best/Short.
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import StudyResults
+from repro.experiments.report import ExperimentReport
+
+PAPER = {
+    DecisionLabel.NONBEST_SHORT: 3.0,
+    DecisionLabel.BEST_LONG: 6.5,
+    DecisionLabel.NONBEST_LONG: 4.5,
+}
+
+
+def run(study: StudyResults) -> ExperimentReport:
+    summary = study.cable_summary
+    report = ExperimentReport(
+        experiment_id="Table 4",
+        title="Decisions attributable to undersea-cable ASes",
+    )
+    for row in summary.rows:
+        if row.label is DecisionLabel.BEST_SHORT:
+            continue
+        report.add(f"{row.label.value} via cables", PAPER.get(row.label), row.percent)
+    report.add("paths crossing cable ASes", 2.0, 100.0 * summary.path_fraction)
+    report.add(
+        "cable decisions deviating", 51.2, 100.0 * summary.deviating_fraction
+    )
+    report.add("cable decisions total", None, float(summary.cable_decisions), unit="")
+    report.note(
+        "Shape check: cables are rare on paths but strongly "
+        "over-represented among deviating decisions."
+    )
+    return report
+
+
+def shape_holds(study: StudyResults) -> bool:
+    summary = study.cable_summary
+    if summary.cable_decisions == 0:
+        return False
+    by_label = {row.label: row for row in summary.rows}
+    violation_rates = [
+        by_label[label].percent
+        for label in (
+            DecisionLabel.NONBEST_SHORT,
+            DecisionLabel.BEST_LONG,
+            DecisionLabel.NONBEST_LONG,
+        )
+    ]
+    best_short_rate = by_label[DecisionLabel.BEST_SHORT].percent
+    return (
+        summary.path_fraction <= 0.10  # cables are rare on paths
+        and summary.deviating_fraction >= 0.25  # but deviate heavily
+        and max(violation_rates) > best_short_rate  # over-represented
+    )

@@ -1,0 +1,74 @@
+"""IP geolocation with a configurable error model.
+
+The paper geolocates router addresses with Alidade, which "offers good
+coverage of infrastructure IPs".  We derive a database from the
+generated ground truth, then degrade it: a fraction of addresses are
+missing, and a fraction geolocate to the wrong city (drawn
+deterministically per address so results are reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.net.ip import IPAddress
+from repro.topogen.geography import City
+from repro.topogen.internet import Internet
+
+
+class GeoDatabase:
+    """Maps addresses to cities, with country/continent conveniences."""
+
+    def __init__(self, locations: Optional[Dict[int, City]] = None) -> None:
+        self._locations: Dict[int, City] = dict(locations or {})
+
+    @classmethod
+    def from_internet(
+        cls,
+        internet: Internet,
+        error_rate: float = 0.02,
+        miss_rate: float = 0.03,
+        seed: int = 0,
+    ) -> "GeoDatabase":
+        """Derive a degraded database from ground truth.
+
+        ``error_rate`` of covered addresses point at a wrong city;
+        ``miss_rate`` are absent entirely.
+        """
+        rng = random.Random(seed)
+        all_cities = internet.world.all_cities()
+        locations: Dict[int, City] = {}
+        for value, city in sorted(internet.ip_locations.items()):
+            roll = rng.random()
+            if roll < miss_rate:
+                continue
+            if roll < miss_rate + error_rate:
+                locations[value] = rng.choice(all_cities)
+            else:
+                locations[value] = city
+        return cls(locations)
+
+    def add(self, address: IPAddress, city: City) -> None:
+        self._locations[address.value] = city
+
+    def city_of(self, address: IPAddress) -> Optional[City]:
+        return self._locations.get(address.value)
+
+    def country_of(self, address: IPAddress) -> Optional[str]:
+        city = self.city_of(address)
+        return None if city is None else city.country
+
+    def continent_of(self, address: IPAddress) -> Optional[str]:
+        city = self.city_of(address)
+        return None if city is None else city.continent
+
+    def continents_of_path(self, addresses: List[IPAddress]) -> List[Optional[str]]:
+        """Continent per hop, ``None`` where the database has no entry."""
+        return [self.continent_of(address) for address in addresses]
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, address: IPAddress) -> bool:
+        return address.value in self._locations

@@ -1,0 +1,45 @@
+"""IP-to-AS mapping by longest-prefix match over originated prefixes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.ip import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+
+
+class IPToASMapper:
+    """Maps addresses to the AS originating the covering prefix.
+
+    Built from (prefix, origin ASN) pairs — in practice the origination
+    data a real pipeline extracts from BGP table dumps.
+    """
+
+    def __init__(self, originations: Iterable[Tuple[Prefix, int]] = ()) -> None:
+        self._trie: PrefixTrie = PrefixTrie()
+        for prefix, asn in originations:
+            self.add(prefix, asn)
+
+    @classmethod
+    def from_prefix_map(cls, prefixes: Dict[int, List[Prefix]]) -> "IPToASMapper":
+        """Build from an ``{asn: [prefixes]}`` origination map."""
+        mapper = cls()
+        for asn, prefix_list in prefixes.items():
+            for prefix in prefix_list:
+                mapper.add(prefix, asn)
+        return mapper
+
+    def add(self, prefix: Prefix, asn: int) -> None:
+        self._trie.insert(prefix, asn)
+
+    def lookup(self, address: IPAddress) -> Optional[int]:
+        """The origin ASN for ``address``, or ``None`` if uncovered."""
+        return self._trie.lookup(address)
+
+    def lookup_prefix(self, address: IPAddress) -> Optional[Prefix]:
+        """The covering prefix for ``address``."""
+        match = self._trie.lookup_with_prefix(address)
+        return None if match is None else match[0]
+
+    def __len__(self) -> int:
+        return len(self._trie)

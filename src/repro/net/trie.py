@@ -1,0 +1,121 @@
+"""Binary radix trie with longest-prefix match.
+
+This is the lookup structure behind both the simulated data plane
+(forwarding tables) and the measurement pipeline (IP-to-AS mapping).
+Values are arbitrary Python objects; inserting the same prefix twice
+replaces the value, matching how a routing table holds exactly one best
+route per prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.net.ip import IPAddress, Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv4 prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the entry at ``prefix``; returns whether it existed.
+
+        Interior nodes are left in place — the trie is rebuilt rather
+        than compacted in the workloads we run, so lazy deletion keeps
+        the code simple without a measurable memory cost.
+        """
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.length):
+            if node is None:
+                return False
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            node = node.children[bit]
+        if node is None or not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return True
+
+    def lookup(self, address: IPAddress) -> Optional[V]:
+        """Longest-prefix-match lookup; ``None`` when nothing covers it."""
+        match = self.lookup_with_prefix(address)
+        return None if match is None else match[1]
+
+    def lookup_with_prefix(self, address: IPAddress) -> Optional[Tuple[Prefix, V]]:
+        """Like :meth:`lookup` but also returns the matched prefix."""
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[Prefix, V]] = None
+        if self._root.has_value:
+            best = (Prefix(0, 0), self._root.value)  # type: ignore[arg-type]
+        for bit_index in range(32):
+            if node is None:
+                break
+            bit = (address.value >> (31 - bit_index)) & 1
+            node = node.children[bit]
+            if node is not None and node.has_value:
+                matched = Prefix.from_address(address, bit_index + 1)
+                best = (matched, node.value)  # type: ignore[assignment]
+        return best
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """The value stored at exactly ``prefix``, or ``None``."""
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.length):
+            if node is None:
+                return None
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            node = node.children[bit]
+        if node is None or not node.has_value:
+            return None
+        return node.value
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate ``(prefix, value)`` pairs in preorder (shortest first)."""
+        stack: list[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield Prefix(network, length), node.value  # type: ignore[misc]
+            # Push right child first so the left (0) branch pops first.
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    child_network = network | (bit << (31 - length))
+                    stack.append((child, child_network, length + 1))
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.exact(prefix) is not None

@@ -1,0 +1,232 @@
+"""Drivers for the paper's two active control-plane experiments.
+
+*Alternate-route discovery* (Section 3.2): announce anycast, observe
+the target AS's next hop, poison it, and repeat — each round reveals
+the target's next-most-preferred route, reverse-engineering its full
+preference order.
+
+*Magnet/anycast* (Section 3.2): announce from a single mux (the
+magnet), let routes settle and age, then anycast from all muxes and
+watch which ASes switch and which keep the old route — exposing
+decision-process steps (intradomain tie-breakers, route age) invisible
+to passive measurement.
+
+Both drivers record what real monitoring would see: RIB views at
+targets, collector feed paths, and the AS paths from traceroute vantage
+points — the analysis in :mod:`repro.core.active_analysis` consumes
+only these observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.decision import DecisionStep
+from repro.bgp.simulator import BGPSimulator
+from repro.net.ip import Prefix
+from repro.peering.collectors import FeedArchive
+from repro.peering.testbed import PeeringTestbed
+
+PathSeq = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RouteView:
+    """What monitoring reveals about one AS's route: next hop and path.
+
+    ``path`` runs from the next hop to the origin (the observed AS
+    itself excluded), mirroring a route's AS_PATH at that AS.
+    """
+
+    next_hop: int
+    path: PathSeq
+
+
+@dataclass
+class AlternateRouteObservation:
+    """Preference order discovered for one target AS."""
+
+    target: int
+    #: Routes in discovery order: most preferred first.
+    routes: List[RouteView] = field(default_factory=list)
+    #: Poison sets used, one per announcement round after the first.
+    poison_rounds: List[FrozenSet[int]] = field(default_factory=list)
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything alternate-route discovery produced."""
+
+    observations: List[AlternateRouteObservation]
+    #: Distinct announcement configurations used (poison sets).
+    distinct_announcements: int
+    #: Links observed on any monitored path during the experiments.
+    observed_links: Set[Tuple[int, int]]
+    #: Links observed only while some AS was poisoned.
+    poisoned_only_links: Set[Tuple[int, int]]
+
+
+def _links_of_path(path: Sequence[int]) -> Set[Tuple[int, int]]:
+    return {
+        (min(a, b), max(a, b)) for a, b in zip(path[:-1], path[1:]) if a != b
+    }
+
+
+def _monitored_links(
+    simulator: BGPSimulator,
+    prefix: Prefix,
+    monitor_asns: Iterable[int],
+) -> Set[Tuple[int, int]]:
+    """Links visible on monitors' current paths toward ``prefix``."""
+    links: Set[Tuple[int, int]] = set()
+    for asn in monitor_asns:
+        path = simulator.forwarding_path(asn, prefix)
+        if path:
+            links.update(_links_of_path(path))
+    return links
+
+
+def discover_alternate_routes(
+    testbed: PeeringTestbed,
+    simulator: BGPSimulator,
+    targets: Sequence[int],
+    prefix: Optional[Prefix] = None,
+    monitor_asns: Sequence[int] = (),
+    max_rounds: int = 10,
+) -> DiscoveryResult:
+    """Run iterative poisoning against each target AS.
+
+    ``monitor_asns`` are the traceroute vantage points whose paths
+    contribute to the observed-link accounting; the targets' own RIB
+    views (what BGP feeds from them would show) contribute as well.
+    """
+    prefix = prefix or testbed.prefixes[0]
+    observations: List[AlternateRouteObservation] = []
+    announcement_configs: Set[FrozenSet[int]] = set()
+    observed_links: Set[Tuple[int, int]] = set()
+    baseline_links: Set[Tuple[int, int]] = set()
+    poisoned_links: Set[Tuple[int, int]] = set()
+
+    for target in targets:
+        observation = AlternateRouteObservation(target=target)
+        poisoned: Set[int] = set()
+        testbed.announce(simulator, prefix, poisoned=())
+        announcement_configs.add(frozenset())
+        baseline_links.update(
+            _monitored_links(simulator, prefix, list(monitor_asns) + [target])
+        )
+        for _ in range(max_rounds):
+            route = simulator.best_route(target, prefix)
+            if route is None or route.learned_from == target:
+                break
+            next_hop = route.learned_from
+            observation.routes.append(
+                RouteView(next_hop=next_hop, path=route.as_path.sequence())
+            )
+            if next_hop == testbed.asn:
+                break
+            poisoned.add(next_hop)
+            config = frozenset(poisoned)
+            observation.poison_rounds.append(config)
+            announcement_configs.add(config)
+            testbed.announce(simulator, prefix, poisoned=poisoned)
+            round_links = _monitored_links(
+                simulator, prefix, list(monitor_asns) + [target]
+            )
+            observed_links.update(round_links)
+            poisoned_links.update(round_links)
+        observations.append(observation)
+    observed_links.update(baseline_links)
+    # Restore the unpoisoned announcement for whoever runs next.
+    testbed.announce(simulator, prefix, poisoned=())
+    return DiscoveryResult(
+        observations=observations,
+        distinct_announcements=len(announcement_configs),
+        observed_links=observed_links,
+        poisoned_only_links=poisoned_links - baseline_links,
+    )
+
+
+@dataclass
+class MagnetObservation:
+    """One magnet round: single-mux phase then anycast phase."""
+
+    magnet_mux: int
+    prefix: Prefix
+    magnet_routes: Dict[int, RouteView] = field(default_factory=dict)
+    anycast_routes: Dict[int, RouteView] = field(default_factory=dict)
+    #: Ground-truth decision step per AS after anycast (validation only;
+    #: the paper-style analysis must infer this from the routes).
+    truth_decision_steps: Dict[int, DecisionStep] = field(default_factory=dict)
+    #: ASes whose decisions are visible via BGP feeds.
+    feed_visible: FrozenSet[int] = frozenset()
+    #: ASes whose decisions are visible via vantage-point traceroutes.
+    vp_visible: FrozenSet[int] = frozenset()
+
+
+def _route_views(simulator: BGPSimulator, prefix: Prefix) -> Dict[int, RouteView]:
+    views: Dict[int, RouteView] = {}
+    for asn, route in simulator.rib_dump(prefix).items():
+        if route.learned_from == asn:
+            continue  # the origin itself
+        views[asn] = RouteView(
+            next_hop=route.learned_from, path=route.as_path.sequence()
+        )
+    return views
+
+
+def _path_visibility(
+    simulator: BGPSimulator, prefix: Prefix, monitor_asns: Iterable[int]
+) -> FrozenSet[int]:
+    """ASes whose next-hop decision appears on a monitored path."""
+    visible: Set[int] = set()
+    for asn in monitor_asns:
+        path = simulator.forwarding_path(asn, prefix)
+        if path:
+            visible.update(path[:-1])
+    return frozenset(visible)
+
+
+def run_magnet_experiments(
+    testbed: PeeringTestbed,
+    simulator: BGPSimulator,
+    feeds: FeedArchive,
+    vp_asns: Sequence[int] = (),
+    prefix: Optional[Prefix] = None,
+) -> List[MagnetObservation]:
+    """Use each mux as the magnet once (paper Section 3.2).
+
+    For every round: withdraw, announce via the magnet only (routes
+    arrive and age), then anycast via all muxes and record who moved.
+    """
+    prefix = prefix or testbed.prefixes[-1]
+    observations: List[MagnetObservation] = []
+    for mux in testbed.muxes:
+        testbed.withdraw(simulator, prefix)
+        testbed.announce(simulator, prefix, muxes=[mux.host_asn])
+        magnet_routes = _route_views(simulator, prefix)
+        testbed.announce(simulator, prefix)  # anycast from all muxes
+        feeds.record(simulator, [prefix])
+        anycast_routes = _route_views(simulator, prefix)
+        truth_steps = {
+            asn: simulator.decision_step(asn, prefix)
+            for asn in anycast_routes
+            if simulator.decision_step(asn, prefix) is not None
+        }
+        feed_peers = {
+            peer for collector in feeds.collectors for peer in collector.peer_asns
+        }
+        observations.append(
+            MagnetObservation(
+                magnet_mux=mux.host_asn,
+                prefix=prefix,
+                magnet_routes=magnet_routes,
+                anycast_routes=anycast_routes,
+                truth_decision_steps=truth_steps,
+                feed_visible=_path_visibility(simulator, prefix, feed_peers),
+                vp_visible=_path_visibility(simulator, prefix, vp_asns),
+            )
+        )
+    testbed.withdraw(simulator, prefix)
+    return observations

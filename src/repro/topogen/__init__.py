@@ -1,0 +1,44 @@
+"""Synthetic Internet generation.
+
+The paper measures the real Internet; offline we cannot.  This
+subpackage builds a synthetic Internet with the structural features the
+paper's analysis keys on — a tier-1 clique, regional transit
+hierarchies, a rich edge peering mesh, content providers with off-net
+caches, sibling organizations, hybrid and partial-transit
+relationships, prefix-specific export policies, domestic-path
+preferences, and undersea-cable ASes — plus an inference-error model
+that derives CAIDA-like *inferred* relationship snapshots from the
+ground truth, mirroring the real pipeline's blind spots.
+"""
+
+from repro.topogen.geography import City, Country, World, build_world
+from repro.topogen.config import TopologyConfig
+from repro.topogen.internet import Internet, Interconnect, ContentProvider, Replica
+from repro.topogen.generator import generate_internet
+from repro.topogen.inference import InferenceConfig, infer_topology, inferred_snapshots
+from repro.topogen.serialization import (
+    internet_from_dict,
+    internet_to_dict,
+    load_internet,
+    save_internet,
+)
+
+__all__ = [
+    "City",
+    "Country",
+    "World",
+    "build_world",
+    "TopologyConfig",
+    "Internet",
+    "Interconnect",
+    "ContentProvider",
+    "Replica",
+    "generate_internet",
+    "InferenceConfig",
+    "infer_topology",
+    "inferred_snapshots",
+    "internet_from_dict",
+    "internet_to_dict",
+    "load_internet",
+    "save_internet",
+]

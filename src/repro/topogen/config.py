@@ -1,0 +1,130 @@
+"""Configuration knobs for the synthetic Internet generator.
+
+Counts control the size of the topology; rates control how often the
+generator injects the policy behaviours the paper investigates.  The
+defaults produce a medium topology that runs the full passive campaign
+in seconds while exhibiting every violation class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TopologyConfig:
+    """Sizes and behaviour rates for :func:`generate_internet`."""
+
+    # ------------------------------------------------------------------
+    # Population sizes
+    # ------------------------------------------------------------------
+    num_tier1: int = 10
+    num_large_isps: int = 40
+    num_small_isps: int = 150
+    num_stubs: int = 500
+    num_content_providers: int = 12
+    num_cable_ases: int = 12
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    #: Providers per large ISP (drawn 1..n).
+    max_providers_large: int = 3
+    #: Providers per small ISP.
+    max_providers_small: int = 3
+    #: Providers per stub.
+    max_providers_stub: int = 3
+    #: Probability two large ISPs on the same continent peer.
+    peer_prob_large: float = 0.18
+    #: Probability two small ISPs in the same country peer (edge mesh).
+    peer_prob_small_domestic: float = 0.25
+    #: Probability two small ISPs on the same continent peer.
+    peer_prob_small_continent: float = 0.03
+    #: Probability a stub peers with another stub in the same country.
+    peer_prob_stub: float = 0.01
+    #: Transit providers each content provider buys from.
+    content_transit_providers: int = 4
+    #: Probability a content provider peers with a given large ISP.
+    content_peering_prob: float = 0.35
+
+    # ------------------------------------------------------------------
+    # Organizations / siblings
+    # ------------------------------------------------------------------
+    #: Fraction of large ISPs split into multi-ASN sibling organizations.
+    sibling_org_rate: float = 0.35
+    #: ASNs per sibling organization (2..n).
+    max_siblings_per_org: int = 3
+    #: Fraction of sibling orgs whose whois email uses a public hoster
+    #: (making them invisible to email-based inference).
+    sibling_public_email_rate: float = 0.15
+
+    # ------------------------------------------------------------------
+    # Policy deviations (the paper's root causes)
+    # ------------------------------------------------------------------
+    #: Fraction of multi-homed origins applying selective per-prefix export.
+    selective_export_rate: float = 0.45
+    #: Fraction of ASes applying a per-neighbor-and-prefix local-pref
+    #: override for some destination prefix (traffic engineering).
+    prefix_local_pref_rate: float = 0.30
+    #: Fraction of multi-homed stubs keeping one provider as backup only.
+    backup_link_rate: float = 0.15
+    #: Fraction of ASes preferring domestic paths (Section 6).
+    domestic_preference_rate: float = 0.55
+    #: Fraction of large-ISP peerings that are hybrid (relationship
+    #: differs by city).
+    hybrid_rate: float = 0.12
+    #: Fraction of provider-customer links sold as partial transit.
+    partial_transit_rate: float = 0.06
+    #: Fraction of ASes that filter poisoned announcements.
+    poison_filter_rate: float = 0.03
+    #: Fraction of ASes with loop prevention disabled.
+    loop_prevention_disabled_rate: float = 0.01
+    #: Fraction of ISPs with a general per-neighbor local-pref override
+    #: that breaks the Gao-Rexford band (e.g. preferring a peer route
+    #: over a customer route) — the paper's unexplained residue.
+    nongr_local_pref_rate: float = 0.22
+    #: Fraction of multi-homed origins prepending their AS path toward
+    #: one provider (inbound traffic engineering); deflects traffic
+    #: onto physically longer paths the model cannot predict.
+    prepend_rate: float = 0.25
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    #: Prefixes originated per multi-prefix AS (2..n); stubs get 1-2.
+    max_prefixes_per_origin: int = 4
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range knobs."""
+        rates = {
+            name: value
+            for name, value in vars(self).items()
+            if name.endswith(("_rate", "_prob")) or "_prob_" in name
+        }
+        for name, value in rates.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        counts = [
+            self.num_tier1,
+            self.num_large_isps,
+            self.num_small_isps,
+            self.num_stubs,
+            self.num_content_providers,
+            self.num_cable_ases,
+        ]
+        if any(count < 0 for count in counts):
+            raise ValueError("population sizes must be non-negative")
+        if self.num_tier1 < 2:
+            raise ValueError("need at least two tier-1 ASes for a clique")
+
+
+def small_config() -> TopologyConfig:
+    """A small topology for fast tests."""
+    return TopologyConfig(
+        num_tier1=4,
+        num_large_isps=12,
+        num_small_isps=30,
+        num_stubs=80,
+        num_content_providers=4,
+        num_cable_ases=3,
+    )

@@ -1,0 +1,254 @@
+"""Relationship-inference error model.
+
+The analysis pipeline never sees the ground truth: like the paper, it
+works from *inferred* relationship snapshots with the blind spots of
+real inference pipelines (Luckie et al.):
+
+* sibling links come out as customer-provider or peer (inference has no
+  sibling class),
+* undersea-cable transit links are misread (the paper's Section 6 —
+  cable operators "resemble high-latency, high-cost IXPs and thus
+  confuse existing AS relationship models"),
+* hybrid (per-city) relationships collapse to a single, often wrong,
+  label,
+* edge peering links are simply invisible to route collectors,
+* a few stale links linger from past topologies (the paper's
+  AS3549-Netflix example), and
+* each monthly snapshot adds transient churn, which Section 3.3's
+  aggregation is designed to cancel.
+
+The Giotsas-style complex-relationship dataset handed to the analysis
+covers only part of the true hybrid/partial-transit entries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.topogen.internet import Internet
+from repro.topology.complex_rel import ComplexRelationships, HybridEntry
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+
+
+@dataclass
+class InferenceConfig:
+    """Error rates of the simulated inference pipeline."""
+
+    #: Peering between two edge networks (stubs/small ISPs) is mostly
+    #: invisible to route collectors.
+    miss_peer_edge_rate: float = 0.60
+    #: Core peering links are occasionally missed too.
+    miss_peer_core_rate: float = 0.08
+    #: c2p links labeled p2p (or very rarely reversed).
+    mislabel_c2p_rate: float = 0.06
+    reverse_c2p_rate: float = 0.005
+    #: p2p links labeled c2p.
+    mislabel_p2p_rate: float = 0.12
+    #: Probability a sibling link is inferred as c2p (else p2p).
+    sibling_as_c2p_rate: float = 0.55
+    #: Probability a cable transit link is misread.
+    cable_mislabel_rate: float = 0.75
+    #: Probability a hybrid pair gets the wrong (other-city) label.
+    hybrid_wrong_label_rate: float = 0.80
+    #: Nonexistent stale links injected into the inferred topology.
+    stale_link_count: int = 14
+    #: Per-link perturbation probability in each monthly snapshot.
+    snapshot_churn: float = 0.02
+    #: Fraction of true complex entries present in the known dataset.
+    complex_dataset_coverage: float = 0.6
+    #: Number of monthly snapshots to derive.
+    num_snapshots: int = 5
+
+
+def _provider_side(internet: Internet, a: int, b: int, rng: random.Random) -> Tuple[int, int]:
+    """Guess which sibling/peer endpoint looks like the provider.
+
+    Inference pipelines use degree: the better-connected AS is assumed
+    to be the provider.
+    """
+    degree_a = internet.graph.degree(a)
+    degree_b = internet.graph.degree(b)
+    if degree_a == degree_b:
+        return (a, b) if rng.random() < 0.5 else (b, a)
+    return (a, b) if degree_a > degree_b else (b, a)
+
+
+def infer_topology(
+    internet: Internet,
+    config: Optional[InferenceConfig] = None,
+    seed: int = 0,
+) -> Tuple[ASGraph, ComplexRelationships]:
+    """Derive the base inferred topology and the known complex dataset."""
+    config = config or InferenceConfig()
+    rng = random.Random(seed)
+    truth = internet.graph
+    edge_asns = {
+        asn
+        for asn in truth.asns()
+        if not truth.customers(asn) or truth.degree(asn) <= 4
+    }
+    cable_asns = internet.cables.cable_asns()
+    hybrid_pairs = {
+        (min(a, b), max(a, b)) for a, b in internet.complex_truth.hybrid_pairs()
+    }
+
+    inferred = ASGraph()
+    for asys in truth.ases():
+        inferred.add_as(asys)
+
+    for a, b, rel in truth.links():
+        pair = (min(a, b), max(a, b))
+        if rel is Relationship.SIBLING:
+            provider, customer = _provider_side(internet, a, b, rng)
+            if rng.random() < config.sibling_as_c2p_rate:
+                inferred.add_link(provider, customer, Relationship.CUSTOMER)
+            else:
+                inferred.add_link(a, b, Relationship.PEER)
+            continue
+        if rel is Relationship.CUSTOMER and (a in cable_asns or b in cable_asns):
+            # ``a`` is the cable operator providing point-to-point
+            # transit; inference usually misreads the economics — or,
+            # like IXP fabrics, misses the hop entirely.
+            if rng.random() < config.cable_mislabel_rate:
+                roll = rng.random()
+                if roll < 0.4:
+                    continue  # link invisible to inference
+                if roll < 0.75:
+                    inferred.add_link(a, b, Relationship.PEER)
+                else:
+                    inferred.add_link(b, a, Relationship.CUSTOMER)
+            else:
+                inferred.add_link(a, b, rel)
+            continue
+        if rel is Relationship.PEER and pair in hybrid_pairs:
+            if rng.random() < config.hybrid_wrong_label_rate:
+                # The collapsed label reflects the *other* city, where
+                # the pair behaves as customer-provider.
+                inferred.add_link(a, b, Relationship.CUSTOMER)
+            else:
+                inferred.add_link(a, b, Relationship.PEER)
+            continue
+        if rel is Relationship.PEER:
+            both_edge = a in edge_asns and b in edge_asns
+            miss_rate = (
+                config.miss_peer_edge_rate if both_edge else config.miss_peer_core_rate
+            )
+            if rng.random() < miss_rate:
+                continue
+            if rng.random() < config.mislabel_p2p_rate:
+                provider, customer = _provider_side(internet, a, b, rng)
+                inferred.add_link(provider, customer, Relationship.CUSTOMER)
+            else:
+                inferred.add_link(a, b, Relationship.PEER)
+            continue
+        # Plain customer-provider link.
+        if rng.random() < config.reverse_c2p_rate:
+            inferred.add_link(b, a, Relationship.CUSTOMER)
+        elif rng.random() < config.mislabel_c2p_rate:
+            inferred.add_link(a, b, Relationship.PEER)
+        else:
+            inferred.add_link(a, b, rel)
+
+    _inject_stale_links(internet, inferred, config, rng)
+    known_complex = _sample_complex_dataset(internet, config, rng)
+    return inferred, known_complex
+
+
+def _inject_stale_links(
+    internet: Internet,
+    inferred: ASGraph,
+    config: InferenceConfig,
+    rng: random.Random,
+) -> None:
+    """Add links that existed once but no longer do (stale inferences)."""
+    content_asns = internet.content_asns()
+    transit_asns = [
+        asn
+        for asn in internet.graph.asns()
+        if internet.graph.customers(asn) and asn not in content_asns
+    ]
+    if not content_asns or not transit_asns:
+        return
+    # Stale links attach to well-connected transits so that many model
+    # paths route through them (the paper's AS3549-Netflix case was a
+    # tier-1's dead link to a major content network).
+    weights = [internet.graph.degree(asn) for asn in transit_asns]
+    added = 0
+    attempts = 0
+    while added < config.stale_link_count and attempts < 100:
+        attempts += 1
+        transit = rng.choices(transit_asns, weights=weights, k=1)[0]
+        content = rng.choice(content_asns)
+        if inferred.has_link(transit, content) or internet.graph.has_link(
+            transit, content
+        ):
+            continue
+        relationship = (
+            Relationship.CUSTOMER if rng.random() < 0.7 else Relationship.PEER
+        )
+        inferred.add_link(transit, content, relationship)
+        added += 1
+
+
+def _sample_complex_dataset(
+    internet: Internet, config: InferenceConfig, rng: random.Random
+) -> ComplexRelationships:
+    """The Giotsas-like dataset: partial coverage of the truth."""
+    known = ComplexRelationships()
+    seen_pairs = set()
+    for a, b in internet.complex_truth.hybrid_pairs():
+        pair = (min(a, b), max(a, b))
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        if rng.random() >= config.complex_dataset_coverage:
+            continue
+        for city_a in internet.presence_cities.get(a, []):
+            relationship = internet.complex_truth.hybrid_relationship(
+                a, b, city_a.name
+            )
+            if relationship is not None:
+                known.add_hybrid(HybridEntry(a, b, city_a.name, relationship))
+    for entry in internet.complex_truth.partial_transit_entries():
+        if rng.random() < config.complex_dataset_coverage:
+            known.add_partial_transit(entry)
+    return known
+
+
+def inferred_snapshots(
+    internet: Internet,
+    config: Optional[InferenceConfig] = None,
+    seed: int = 0,
+) -> Tuple[List[ASGraph], ComplexRelationships]:
+    """Monthly inferred snapshots (oldest first) plus the complex dataset.
+
+    Each snapshot perturbs the base inference with independent churn:
+    links vanish for a month or flip label, mimicking transient failures
+    and inference instability that Section 3.3's aggregation smooths.
+    """
+    config = config or InferenceConfig()
+    base, known_complex = infer_topology(internet, config, seed)
+    rng = random.Random(seed + 1)
+    snapshots: List[ASGraph] = []
+    for _ in range(config.num_snapshots):
+        snapshot = ASGraph()
+        for asys in base.ases():
+            snapshot.add_as(asys)
+        for a, b, rel in base.links():
+            roll = rng.random()
+            if roll < config.snapshot_churn / 2:
+                continue  # link missing this month
+            if roll < config.snapshot_churn:
+                flipped = (
+                    Relationship.PEER
+                    if rel is Relationship.CUSTOMER
+                    else Relationship.CUSTOMER
+                )
+                snapshot.add_link(a, b, flipped)
+            else:
+                snapshot.add_link(a, b, rel)
+        snapshots.append(snapshot)
+    return snapshots, known_complex

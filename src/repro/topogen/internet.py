@@ -1,0 +1,137 @@
+"""The synthetic Internet container.
+
+:class:`Internet` holds everything the measurement and analysis layers
+need: the ground-truth AS graph and policies, prefix originations,
+router-level detail (interconnect subnets and router addresses),
+geolocation ground truth, the whois registry, content-provider
+deployments, cable and complex-relationship ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.policy import Policy
+from repro.net.ip import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+from repro.topogen.geography import City, World
+from repro.topology.cables import CableRegistry
+from repro.topology.complex_rel import ComplexRelationships
+from repro.topology.graph import ASGraph
+from repro.whois.registry import WhoisRegistry
+from repro.whois.soa import SOADatabase
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Router-level detail of one inter-AS adjacency.
+
+    The /30 ``subnet`` is carved from ``owner``'s address space (usually
+    the provider side), which reproduces the classic traceroute
+    artifact: the ingress interface of the *other* AS answers from an
+    address that IP-to-AS maps to ``owner``.
+    """
+
+    a: int
+    b: int
+    city: City
+    subnet: Prefix
+    ip_a: IPAddress
+    ip_b: IPAddress
+    owner: int
+
+    def ip_of(self, asn: int) -> IPAddress:
+        if asn == self.a:
+            return self.ip_a
+        if asn == self.b:
+            return self.ip_b
+        raise ValueError(f"AS{asn} is not an endpoint of this interconnect")
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One content replica: a serving address inside some AS."""
+
+    ip: IPAddress
+    asn: int
+    city: City
+
+
+@dataclass
+class ContentProvider:
+    """A content provider with DNS names resolving to replicas.
+
+    Off-net replicas (CDN caches inside eyeball ISPs) have ``asn`` set
+    to the hosting ISP, which is why the paper's 34 DNS names resolve
+    into hundreds of distinct destination ASes.
+    """
+
+    name: str
+    asns: Tuple[int, ...]
+    dns_names: Tuple[str, ...]
+    replicas: Dict[str, List[Replica]] = field(default_factory=dict)
+
+    def all_replicas(self) -> List[Replica]:
+        return [replica for group in self.replicas.values() for replica in group]
+
+
+@dataclass
+class Internet:
+    """Ground truth for one generated Internet."""
+
+    world: World
+    graph: ASGraph
+    policies: Dict[int, Policy]
+    #: Prefixes originated by each AS; index 0 is the infrastructure
+    #: prefix that numbers routers and interconnects.
+    prefixes: Dict[int, List[Prefix]]
+    #: Keyed (min ASN, max ASN).
+    interconnects: Dict[Tuple[int, int], Interconnect]
+    #: Loopback address per (ASN, city name).
+    router_ips: Dict[Tuple[int, str], IPAddress]
+    #: Ground-truth location of every infrastructure/host address.
+    ip_locations: Dict[int, City]
+    whois: WhoisRegistry
+    soa: SOADatabase
+    #: Ground-truth organization map: org id -> member ASNs.
+    orgs: Dict[str, List[int]]
+    cables: CableRegistry
+    complex_truth: ComplexRelationships
+    content: List[ContentProvider]
+    #: ASes that plausibly host measurement probes (eyeballs).
+    eyeball_asns: List[int]
+    home_city: Dict[int, City]
+    #: Cities where each AS operates routers.
+    presence_cities: Dict[int, List[City]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived lookups
+    # ------------------------------------------------------------------
+    def origin_trie(self) -> PrefixTrie:
+        """LPM trie mapping every originated prefix to its origin ASN."""
+        trie: PrefixTrie = PrefixTrie()
+        for asn, prefixes in self.prefixes.items():
+            for prefix in prefixes:
+                trie.insert(prefix, asn)
+        return trie
+
+    def interconnect(self, a: int, b: int) -> Optional[Interconnect]:
+        return self.interconnects.get((min(a, b), max(a, b)))
+
+    def country_of(self, asn: int) -> Optional[str]:
+        """Whois registration country (what the analysis sees)."""
+        return self.whois.country_of(asn)
+
+    def continent_of(self, asn: int) -> Optional[str]:
+        city = self.home_city.get(asn)
+        return None if city is None else city.continent
+
+    def location_of_ip(self, ip: IPAddress) -> Optional[City]:
+        return self.ip_locations.get(ip.value)
+
+    def all_asns(self) -> List[int]:
+        return sorted(self.graph.asns())
+
+    def content_asns(self) -> List[int]:
+        return sorted({asn for provider in self.content for asn in provider.asns})

@@ -1,0 +1,77 @@
+"""Customer cones and AS ranking (Luckie et al. style).
+
+CAIDA's AS Rank orders ASes by customer-cone size — the set of ASes
+reachable by walking only provider-to-customer links.  The per-AS walk
+in :mod:`repro.topology.graph` is fine for a handful of queries; this
+module computes every cone in one memoized pass over the (acyclic)
+customer hierarchy, and derives the ranking and transit degrees used to
+characterize topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.topology.graph import ASGraph
+
+
+def customer_cones(graph: ASGraph) -> Dict[int, FrozenSet[int]]:
+    """The customer cone of every AS, each including the AS itself.
+
+    Uses memoized depth-first traversal over provider-to-customer
+    edges.  The customer hierarchy of a sane topology is acyclic; if a
+    cycle exists (possible in hand-built or corrupted inputs), members
+    of the cycle receive mutually consistent cones rather than
+    recursing forever.
+    """
+    cones: Dict[int, FrozenSet[int]] = {}
+    in_progress: Dict[int, set] = {}
+
+    def visit(asn: int) -> set:
+        done = cones.get(asn)
+        if done is not None:
+            return set(done)
+        pending = in_progress.get(asn)
+        if pending is not None:
+            # Back edge: a provider-customer cycle.  Return what we
+            # have so far; the cycle members end up sharing members.
+            return pending
+        cone = {asn}
+        in_progress[asn] = cone
+        for customer in graph.customers(asn):
+            cone.update(visit(customer))
+        del in_progress[asn]
+        cones[asn] = frozenset(cone)
+        return cone
+
+    for asn in graph.asns():
+        visit(asn)
+    return cones
+
+
+def cone_sizes(graph: ASGraph) -> Dict[int, int]:
+    """Customer-cone size per AS (the AS itself included)."""
+    return {asn: len(cone) for asn, cone in customer_cones(graph).items()}
+
+
+def as_rank(graph: ASGraph) -> List[Tuple[int, int, int]]:
+    """``(rank, asn, cone size)`` rows, largest cone first.
+
+    Ties share a cone size but still receive distinct consecutive
+    ranks, ordered by ASN for determinism — the presentation CAIDA's
+    AS Rank uses.
+    """
+    sizes = cone_sizes(graph)
+    ordered = sorted(sizes.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        (rank, asn, size) for rank, (asn, size) in enumerate(ordered, start=1)
+    ]
+
+
+def transit_degree(graph: ASGraph, asn: int) -> int:
+    """Neighbors this AS transits traffic for or through.
+
+    The customer+provider degree: peers exchange traffic but neither
+    side transits for the other.
+    """
+    return len(graph.customers(asn)) + len(graph.providers(asn))

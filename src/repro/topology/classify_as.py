@@ -1,0 +1,52 @@
+"""AS-type classification following Oliveira et al. (Table 1).
+
+The paper buckets vantage-point ASes into Tier-1, Large ISP, Small ISP
+and Stub-AS using the categorization of Oliveira et al., which keys off
+the size of an AS's customer cone:
+
+* **Tier-1** — no providers and a large customer cone (the clique at the
+  top of the hierarchy).
+* **Large ISP** — customer cone of at least ``large_isp_cone`` ASes.
+* **Small ISP** — provides transit to at least one AS but with a small
+  cone.
+* **Stub-AS** — no customers at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.topology.asys import ASType
+from repro.topology.graph import ASGraph
+
+#: Minimum customer-cone size (exclusive of self) for a Large ISP.
+DEFAULT_LARGE_ISP_CONE = 50
+
+
+def classify_as_type(
+    graph: ASGraph, asn: int, large_isp_cone: int = DEFAULT_LARGE_ISP_CONE
+) -> ASType:
+    """Classify one AS by its position in the relationship hierarchy."""
+    customers = graph.customers(asn)
+    if not customers:
+        return ASType.STUB
+    cone_size = len(graph.customer_cone(asn)) - 1
+    if not graph.providers(asn) and cone_size >= large_isp_cone:
+        return ASType.TIER1
+    if cone_size >= large_isp_cone:
+        return ASType.LARGE_ISP
+    return ASType.SMALL_ISP
+
+
+def classify_all(
+    graph: ASGraph, large_isp_cone: int = DEFAULT_LARGE_ISP_CONE
+) -> Dict[int, ASType]:
+    """Classify every AS in the graph.
+
+    Customer cones are computed per AS; for the topology sizes this
+    library works with (tens of thousands of edges) the straightforward
+    per-AS walk is fast enough and far simpler than cone propagation.
+    """
+    return {
+        asn: classify_as_type(graph, asn, large_isp_cone) for asn in graph.asns()
+    }

@@ -1,0 +1,133 @@
+"""Complex AS relationships (hybrid and partial transit).
+
+Giotsas et al. ("Inferring Complex AS Relationships", IMC 2014) extend
+plain relationship inference with two cases the paper's ``Complex``
+refinement consumes:
+
+* **Hybrid relationships** — an AS pair whose relationship differs by
+  interconnection city (e.g. peers in Frankfurt, customer-provider in
+  Singapore).  The dataset maps (AS pair, city) to a relationship.
+* **Partial transit** — a provider that carries a customer's traffic
+  only toward a subset of destinations (typically the provider's peers
+  and customers, not its own providers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.topology.relationships import Relationship
+
+
+@dataclass(frozen=True)
+class HybridEntry:
+    """Relationship of ``neighbor`` to ``asn`` at one city."""
+
+    asn: int
+    neighbor: int
+    city: str
+    relationship: Relationship
+
+
+@dataclass(frozen=True)
+class PartialTransitEntry:
+    """``provider`` transits ``customer`` only toward some destinations.
+
+    ``scope`` restricts which routes the provider exports to the
+    customer's announcements: ``"peers-and-customers"`` (the common
+    arrangement) or an explicit set of destination ASNs.
+    """
+
+    provider: int
+    customer: int
+    scope: str = "peers-and-customers"
+    destinations: FrozenSet[int] = frozenset()
+
+
+class ComplexRelationships:
+    """A queryable dataset of hybrid and partial-transit relationships."""
+
+    def __init__(
+        self,
+        hybrid: Iterable[HybridEntry] = (),
+        partial_transit: Iterable[PartialTransitEntry] = (),
+    ) -> None:
+        self._hybrid: Dict[Tuple[int, int], Dict[str, Relationship]] = {}
+        for entry in hybrid:
+            self.add_hybrid(entry)
+        self._partial: Dict[Tuple[int, int], PartialTransitEntry] = {}
+        for entry in partial_transit:
+            self.add_partial_transit(entry)
+
+    # ------------------------------------------------------------------
+    # Hybrid relationships
+    # ------------------------------------------------------------------
+    def add_hybrid(self, entry: HybridEntry) -> None:
+        key = (entry.asn, entry.neighbor)
+        self._hybrid.setdefault(key, {})[entry.city] = entry.relationship
+        flipped = HybridEntry(
+            asn=entry.neighbor,
+            neighbor=entry.asn,
+            city=entry.city,
+            relationship=entry.relationship.flipped(),
+        )
+        reverse_key = (flipped.asn, flipped.neighbor)
+        self._hybrid.setdefault(reverse_key, {})[flipped.city] = flipped.relationship
+
+    def has_hybrid(self, asn: int, neighbor: int) -> bool:
+        return (asn, neighbor) in self._hybrid
+
+    def hybrid_relationship(
+        self, asn: int, neighbor: int, city: Optional[str]
+    ) -> Optional[Relationship]:
+        """Relationship of ``neighbor`` to ``asn`` at ``city``.
+
+        Returns ``None`` when the pair has no hybrid entry for that
+        city — the caller should fall back to the base topology.
+        """
+        if city is None:
+            return None
+        return self._hybrid.get((asn, neighbor), {}).get(city)
+
+    def hybrid_pairs(self) -> List[Tuple[int, int]]:
+        """All (asn, neighbor) pairs with at least one hybrid entry."""
+        return sorted(self._hybrid)
+
+    def hybrid_entries(self) -> List[HybridEntry]:
+        """Every hybrid entry, one orientation per pair (low ASN first)."""
+        entries: List[HybridEntry] = []
+        for (asn, neighbor), cities in sorted(self._hybrid.items()):
+            if asn > neighbor:
+                continue
+            for city, relationship in sorted(cities.items()):
+                entries.append(
+                    HybridEntry(
+                        asn=asn,
+                        neighbor=neighbor,
+                        city=city,
+                        relationship=relationship,
+                    )
+                )
+        return entries
+
+    # ------------------------------------------------------------------
+    # Partial transit
+    # ------------------------------------------------------------------
+    def add_partial_transit(self, entry: PartialTransitEntry) -> None:
+        if entry.scope not in ("peers-and-customers", "explicit"):
+            raise ValueError(f"unknown partial-transit scope {entry.scope!r}")
+        if entry.scope == "explicit" and not entry.destinations:
+            raise ValueError("explicit partial transit needs destinations")
+        self._partial[(entry.provider, entry.customer)] = entry
+
+    def partial_transit(self, provider: int, customer: int) -> Optional[PartialTransitEntry]:
+        return self._partial.get((provider, customer))
+
+    def partial_transit_entries(self) -> List[PartialTransitEntry]:
+        return [self._partial[key] for key in sorted(self._partial)]
+
+    def __len__(self) -> int:
+        # Each hybrid pair is stored in both orientations; count once.
+        pairs = {tuple(sorted(key)) for key in self._hybrid}
+        return len(pairs) + len(self._partial)

@@ -1,0 +1,21 @@
+"""Whois registry, DNS SOA records, and sibling-AS inference.
+
+The paper (Section 4.2) identifies sibling ASes — multiple ASNs run by
+one organization — from the email field of whois records, canonicalized
+through DNS SOA records so that different vanity domains of the same
+organization group together, while filtering out groups that merely
+share a popular mail hoster or a regional Internet registry contact.
+"""
+
+from repro.whois.registry import WhoisRecord, WhoisRegistry
+from repro.whois.soa import SOADatabase
+from repro.whois.siblings import SiblingGroups, infer_siblings, DEFAULT_PUBLIC_DOMAINS
+
+__all__ = [
+    "WhoisRecord",
+    "WhoisRegistry",
+    "SOADatabase",
+    "SiblingGroups",
+    "infer_siblings",
+    "DEFAULT_PUBLIC_DOMAINS",
+]

@@ -1,0 +1,64 @@
+"""A minimal whois database for ASNs.
+
+Each record carries the fields sibling inference draws on (Cai et al.,
+"Towards an AS-to-organization map"): organization name and ID, contact
+email and phone, and the registration country that Table 3's
+domestic-path analysis reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """Whois facts for one ASN."""
+
+    asn: int
+    org_name: str = ""
+    org_id: str = ""
+    email: str = ""
+    phone: str = ""
+    country: str = ""
+
+    def email_domain(self) -> Optional[str]:
+        """The domain part of the contact email, lowercased."""
+        if "@" not in self.email:
+            return None
+        domain = self.email.rsplit("@", 1)[1].strip().lower()
+        return domain or None
+
+
+class WhoisRegistry:
+    """Registry of :class:`WhoisRecord` keyed by ASN."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, WhoisRecord] = {}
+
+    def add(self, record: WhoisRecord) -> None:
+        self._records[record.asn] = record
+
+    def get(self, asn: int) -> Optional[WhoisRecord]:
+        return self._records.get(asn)
+
+    def country_of(self, asn: int) -> Optional[str]:
+        """Registration country, the field Table 3's analysis uses.
+
+        The paper notes this is lossy for multinational ASes — whois
+        points at a single country even when the AS operates in many.
+        """
+        record = self._records.get(asn)
+        if record is None or not record.country:
+            return None
+        return record.country
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WhoisRecord]:
+        return iter(self._records.values())

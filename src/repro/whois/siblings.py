@@ -1,0 +1,100 @@
+"""Sibling-AS inference from whois email domains (Section 4.2).
+
+The procedure follows the paper: take the email field of each AS's
+whois record (the field Cai et al. found to have the best precision and
+recall), canonicalize its domain through DNS SOA records so different
+domains of one organization collapse, drop domains hosted by popular
+mail providers or regional Internet registries, and group ASNs sharing
+a canonical domain.  Groups of size one carry no sibling information
+and are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.whois.registry import WhoisRegistry
+from repro.whois.soa import SOADatabase
+
+#: Mail hosters and RIR domains whose appearance in whois email fields
+#: says nothing about shared ownership.
+DEFAULT_PUBLIC_DOMAINS = frozenset(
+    {
+        "hotmail.com",
+        "gmail.com",
+        "yahoo.com",
+        "outlook.com",
+        "aol.com",
+        "ripe.net",
+        "arin.net",
+        "apnic.net",
+        "lacnic.net",
+        "afrinic.net",
+    }
+)
+
+
+class SiblingGroups:
+    """Inferred groups of sibling ASNs with O(1) membership queries."""
+
+    def __init__(self, groups: Iterable[FrozenSet[int]] = ()) -> None:
+        self._groups: List[FrozenSet[int]] = []
+        self._group_of: Dict[int, int] = {}
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, group: Iterable[int]) -> None:
+        members = frozenset(group)
+        if len(members) < 2:
+            raise ValueError("a sibling group needs at least two ASNs")
+        for asn in members:
+            if asn in self._group_of:
+                raise ValueError(f"AS{asn} already belongs to a sibling group")
+        index = len(self._groups)
+        self._groups.append(members)
+        for asn in members:
+            self._group_of[asn] = index
+
+    def are_siblings(self, asn_a: int, asn_b: int) -> bool:
+        if asn_a == asn_b:
+            return False
+        index = self._group_of.get(asn_a)
+        return index is not None and index == self._group_of.get(asn_b)
+
+    def group_of(self, asn: int) -> Optional[FrozenSet[int]]:
+        index = self._group_of.get(asn)
+        return None if index is None else self._groups[index]
+
+    def groups(self) -> List[FrozenSet[int]]:
+        return list(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._group_of
+
+
+def infer_siblings(
+    registry: WhoisRegistry,
+    soa: Optional[SOADatabase] = None,
+    public_domains: FrozenSet[str] = DEFAULT_PUBLIC_DOMAINS,
+) -> SiblingGroups:
+    """Infer sibling groups from whois emails and SOA records."""
+    soa = soa or SOADatabase()
+    by_domain: Dict[str, Set[int]] = {}
+    for record in registry:
+        domain = record.email_domain()
+        if domain is None:
+            continue
+        canonical = soa.canonicalize(domain)
+        if canonical in public_domains:
+            continue
+        by_domain.setdefault(canonical, set()).add(record.asn)
+
+    groups = SiblingGroups()
+    for domain in sorted(by_domain):
+        members = by_domain[domain]
+        if len(members) >= 2:
+            groups.add_group(members)
+    return groups

@@ -1,0 +1,49 @@
+"""DNS SOA records used to canonicalize organization domains.
+
+The paper's example: ``dish.com`` and ``dishaccess.tv`` both have their
+SOA served by ``dishnetwork.com``, revealing they belong to the same
+organization.  :class:`SOADatabase` maps a domain to the domain of its
+authoritative name server's SOA record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class SOADatabase:
+    """Maps domains to their SOA (authority) domain."""
+
+    def __init__(self, records: Iterable[Tuple[str, str]] = ()) -> None:
+        self._soa: Dict[str, str] = {}
+        for domain, authority in records:
+            self.add(domain, authority)
+
+    def add(self, domain: str, authority: str) -> None:
+        self._soa[domain.lower()] = authority.lower()
+
+    def authority(self, domain: str) -> Optional[str]:
+        return self._soa.get(domain.lower())
+
+    def canonicalize(self, domain: str) -> str:
+        """Follow SOA records to the organization's canonical domain.
+
+        A domain with no SOA entry is its own canonical form.  Chains
+        are followed (a vanity domain pointing at another vanity domain)
+        with a visited set guarding against configuration loops.
+        """
+        current = domain.lower()
+        visited = {current}
+        while True:
+            authority = self._soa.get(current)
+            if authority is None or authority in visited:
+                return current
+            visited.add(authority)
+            current = authority
+
+    def records(self) -> Iterable[Tuple[str, str]]:
+        """Iterate ``(domain, authority)`` pairs, sorted by domain."""
+        return sorted(self._soa.items())
+
+    def __len__(self) -> int:
+        return len(self._soa)

@@ -1,0 +1,187 @@
+"""Tests for speaker-level features: prepending, sibling semantics,
+and route-flap damping."""
+
+import pytest
+
+from repro.bgp import BGPSimulator, Policy
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+class TestPrepending:
+    def test_prepending_inflates_announced_length(self):
+        graph = _graph((1, 4, Relationship.CUSTOMER))
+        policies = {4: Policy(asn=4, export_prepend={(PFX, 1): 2})}
+        sim = BGPSimulator(graph, policies=policies)
+        sim.originate(4, PFX)
+        route = sim.best_route(1, PFX)
+        assert route.path_length() == 3  # 4 4 4
+        assert route.as_path.sequence() == (4, 4, 4)
+
+    def test_prepending_deflects_traffic(self):
+        """AS1 avoids the prepended provider path."""
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (1, 3, Relationship.CUSTOMER),
+            (2, 4, Relationship.CUSTOMER),
+            (3, 5, Relationship.CUSTOMER),
+            (5, 4, Relationship.CUSTOMER),
+        )
+        # Without prepending, 1 -> 2 -> 4 wins on length.
+        plain = BGPSimulator(graph)
+        plain.originate(4, PFX)
+        assert plain.forwarding_path(1, PFX) == (1, 2, 4)
+        # Origin prepends 3 hops toward provider 2.
+        policies = {4: Policy(asn=4, export_prepend={(PFX, 2): 3})}
+        steered = BGPSimulator(graph, policies=policies)
+        steered.originate(4, PFX)
+        assert steered.forwarding_path(1, PFX) == (1, 3, 5, 4)
+
+    def test_prepending_is_per_prefix(self):
+        graph = _graph((1, 4, Relationship.CUSTOMER))
+        other = Prefix.parse("203.0.113.0/24")
+        policies = {4: Policy(asn=4, export_prepend={(PFX, 1): 2})}
+        sim = BGPSimulator(graph, policies=policies)
+        sim.originate(4, PFX)
+        sim.originate(4, other)
+        assert sim.best_route(1, PFX).path_length() == 3
+        assert sim.best_route(1, other).path_length() == 1
+
+
+class TestSiblingSemantics:
+    def test_sibling_route_inherits_entry_class(self):
+        """A provider route learned via a sibling stays a provider
+        route: it is not re-exported to peers."""
+        graph = _graph(
+            (1, 2, Relationship.SIBLING),
+            (3, 2, Relationship.CUSTOMER),   # 3 is 2's provider
+            (3, 9, Relationship.CUSTOMER),   # destination 9 behind 3
+            (1, 5, Relationship.PEER),
+        )
+        sim = BGPSimulator(graph)
+        sim.originate(9, PFX)
+        route_at_1 = sim.best_route(1, PFX)
+        assert route_at_1 is not None
+        assert route_at_1.relationship is Relationship.SIBLING
+        assert route_at_1.effective_class is Relationship.PROVIDER
+        # The org's provider route must not leak to 1's peer 5.
+        assert sim.best_route(5, PFX) is None
+
+    def test_sibling_customer_route_exported_to_peers(self):
+        graph = _graph(
+            (1, 2, Relationship.SIBLING),
+            (2, 9, Relationship.CUSTOMER),   # 9 is 2's customer
+            (1, 5, Relationship.PEER),
+        )
+        sim = BGPSimulator(graph)
+        sim.originate(9, PFX)
+        route_at_1 = sim.best_route(1, PFX)
+        assert route_at_1.effective_class is Relationship.CUSTOMER
+        # Customer routes of the org do go to peers.
+        assert sim.best_route(5, PFX) is not None
+
+    def test_two_siblings_with_provider_routes_converge(self):
+        """The classic DISAGREE gadget must not oscillate."""
+        graph = _graph(
+            (1, 2, Relationship.SIBLING),
+            (3, 1, Relationship.CUSTOMER),
+            (4, 2, Relationship.CUSTOMER),
+            (5, 3, Relationship.CUSTOMER),
+            (5, 4, Relationship.CUSTOMER),
+            (5, 9, Relationship.CUSTOMER),
+        )
+        sim = BGPSimulator(graph)
+        sim.originate(9, PFX)  # raises ConvergenceError on oscillation
+        assert sim.best_route(1, PFX) is not None
+        assert sim.best_route(2, PFX) is not None
+
+    def test_sibling_chain_resolution(self):
+        graph = _graph(
+            (1, 2, Relationship.SIBLING),
+            (2, 3, Relationship.SIBLING),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        sim = BGPSimulator(graph)
+        sim.originate(9, PFX)
+        route = sim.best_route(1, PFX)
+        assert route.effective_class is Relationship.CUSTOMER
+
+    def test_org_internal_destination_is_customer_class(self):
+        graph = _graph((1, 2, Relationship.SIBLING))
+        sim = BGPSimulator(graph)
+        sim.originate(2, PFX)
+        route = sim.best_route(1, PFX)
+        assert route.effective_class is Relationship.CUSTOMER
+
+
+class TestFlapDamping:
+    def test_dispute_wheel_is_damped_not_livelocked(self):
+        """Three peers each preferring the next one over the origin
+        route form a classic BAD GADGET; damping must freeze it."""
+        graph = _graph(
+            (1, 2, Relationship.PEER),
+            (2, 3, Relationship.PEER),
+            (3, 1, Relationship.PEER),
+            (1, 9, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        policies = {
+            1: Policy(asn=1, neighbor_local_pref={2: 400}),
+            2: Policy(asn=2, neighbor_local_pref={3: 400}),
+            3: Policy(asn=3, neighbor_local_pref={1: 400}),
+        }
+        sim = BGPSimulator(graph, policies=policies, flap_limit=20)
+        sim.originate(9, PFX)  # must terminate
+        assert sim.damped_ases()  # the gadget was frozen
+        # Every gadget member still holds some route.
+        for asn in (1, 2, 3):
+            assert sim.best_route(asn, PFX) is not None
+
+    def test_damping_resets_between_epochs(self):
+        graph = _graph(
+            (1, 2, Relationship.PEER),
+            (2, 3, Relationship.PEER),
+            (3, 1, Relationship.PEER),
+            (1, 9, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        policies = {
+            1: Policy(asn=1, neighbor_local_pref={2: 400}),
+            2: Policy(asn=2, neighbor_local_pref={3: 400}),
+            3: Policy(asn=3, neighbor_local_pref={1: 400}),
+        }
+        sim = BGPSimulator(graph, policies=policies, flap_limit=20)
+        sim.originate(9, PFX)
+        assert sim.damped_ases()
+        other = Prefix.parse("203.0.113.0/24")
+        sim.originate(9, other)
+        # New epoch: old freeze state must not leak across epochs for
+        # the new prefix.
+        frozen_prefixes = {
+            prefix for bucket in sim.damped_ases().values() for prefix in bucket
+        }
+        assert PFX not in frozen_prefixes or other not in frozen_prefixes
+
+    def test_gr_policies_never_trip_damping(self):
+        from repro.topogen import generate_internet
+        from repro.topogen.config import small_config
+
+        internet = generate_internet(small_config(), seed=44)
+        sim = BGPSimulator(
+            internet.graph, policies=internet.policies, country_of=internet.country_of
+        )
+        origin = internet.content[0].asns[0]
+        for prefix in internet.prefixes[origin]:
+            sim.originate(origin, prefix)
+        assert sim.damped_ases() == {}

@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.scenario import quick_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A small but complete study shared by integration tests."""
+    return quick_study()

@@ -1,0 +1,203 @@
+"""Tests for the active-experiment analyses (Section 4.4, Table 2)."""
+
+import pytest
+
+from repro.bgp.decision import DecisionStep
+from repro.core.active_analysis import (
+    InferredTrigger,
+    classify_preference_orders,
+    infer_magnet_decisions,
+)
+from repro.net.ip import Prefix
+from repro.peering.experiments import (
+    AlternateRouteObservation,
+    MagnetObservation,
+    RouteView,
+)
+from repro.topology import ASGraph, Relationship
+
+PFX = Prefix.parse("100.64.0.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+@pytest.fixture
+def target_graph():
+    """Target 1 with customer 2, peer 3, provider 4."""
+    return _graph(
+        (1, 2, Relationship.CUSTOMER),
+        (1, 3, Relationship.PEER),
+        (4, 1, Relationship.CUSTOMER),
+    )
+
+
+def _view(next_hop, length):
+    return RouteView(next_hop=next_hop, path=tuple(range(next_hop, next_hop + length)))
+
+
+class TestPreferenceOrders:
+    def test_both_properties(self, target_graph):
+        observation = AlternateRouteObservation(
+            target=1,
+            routes=[_view(2, 2), _view(3, 2), _view(4, 3)],
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.total_targets == 1
+        assert summary.both == 1
+        assert not summary.violations
+
+    def test_best_only(self, target_graph):
+        # Relationship order correct but lengths shrink down the list.
+        observation = AlternateRouteObservation(
+            target=1,
+            routes=[_view(2, 5), _view(3, 2)],
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.best_only == 1
+
+    def test_short_only_records_violation(self, target_graph):
+        # Provider route preferred over the customer route.
+        observation = AlternateRouteObservation(
+            target=1,
+            routes=[_view(4, 2), _view(2, 2)],
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.short_only == 1
+        assert len(summary.violations) == 1
+        violation = summary.violations[0]
+        assert violation.preferred_relationship is Relationship.PROVIDER
+        assert violation.fallback_relationship is Relationship.CUSTOMER
+
+    def test_neither(self, target_graph):
+        observation = AlternateRouteObservation(
+            target=1,
+            routes=[_view(4, 5), _view(2, 2)],
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.neither == 1
+
+    def test_single_route_targets_skipped(self, target_graph):
+        observation = AlternateRouteObservation(target=1, routes=[_view(2, 2)])
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.total_targets == 0
+
+    def test_unknown_relationships_do_not_fail_best(self, target_graph):
+        # Next hop 99 has no link in the inferred topology; the pair is
+        # skipped for Best grading.
+        observation = AlternateRouteObservation(
+            target=1,
+            routes=[_view(99, 2), _view(2, 2)],
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.both == 1
+
+    def test_fraction_helper(self, target_graph):
+        observation = AlternateRouteObservation(
+            target=1, routes=[_view(2, 2), _view(3, 2)]
+        )
+        summary = classify_preference_orders([observation], target_graph)
+        assert summary.fraction("both") == 1.0
+        empty = classify_preference_orders([], target_graph)
+        assert empty.fraction("both") == 0.0
+
+
+def _magnet_observation(magnet, anycast, **kwargs):
+    return MagnetObservation(
+        magnet_mux=500,
+        prefix=PFX,
+        magnet_routes=magnet,
+        anycast_routes=anycast,
+        feed_visible=kwargs.get("feed_visible", frozenset(anycast)),
+        vp_visible=kwargs.get("vp_visible", frozenset()),
+        truth_decision_steps=kwargs.get("truth", {}),
+    )
+
+
+class TestMagnetInference:
+    def test_best_relationship(self, target_graph):
+        magnet = {1: _view(4, 3)}
+        anycast = {1: _view(2, 3)}  # switched to the customer route
+        observation = _magnet_observation(magnet, anycast)
+        table = infer_magnet_decisions([observation], target_graph)
+        assert table.feed_counts[InferredTrigger.BEST_RELATIONSHIP] == 1
+
+    def test_shorter_path(self):
+        graph = _graph(
+            (4, 1, Relationship.CUSTOMER),
+            (5, 1, Relationship.CUSTOMER),
+        )
+        magnet = {1: _view(4, 4)}
+        anycast = {1: _view(5, 2)}
+        observation = _magnet_observation(magnet, anycast)
+        table = infer_magnet_decisions([observation], graph)
+        assert table.feed_counts[InferredTrigger.SHORTER_PATH] == 1
+
+    def test_oldest_route_when_kept_tie(self):
+        graph = _graph(
+            (4, 1, Relationship.CUSTOMER),
+            (5, 1, Relationship.CUSTOMER),
+        )
+        kept = _view(4, 3)
+        observations = [
+            # Round A establishes that 1 has an equally good alternative.
+            _magnet_observation({1: _view(5, 3)}, {1: _view(5, 3)}),
+            # Round B: 1 keeps the magnet route despite the tie.
+            _magnet_observation({1: kept}, {1: kept}),
+        ]
+        table = infer_magnet_decisions(observations, graph)
+        assert table.feed_counts[InferredTrigger.OLDEST_ROUTE] >= 1
+
+    def test_intradomain_when_switched_tie(self):
+        graph = _graph(
+            (4, 1, Relationship.CUSTOMER),
+            (5, 1, Relationship.CUSTOMER),
+        )
+        observations = [
+            _magnet_observation({1: _view(5, 3)}, {1: _view(5, 3)}),
+            # Magnet route was via 4; after anycast 1 switches to the
+            # equally-good route via 5.
+            _magnet_observation({1: _view(4, 3)}, {1: _view(5, 3)}),
+        ]
+        table = infer_magnet_decisions(observations, graph)
+        assert table.feed_counts[InferredTrigger.INTRADOMAIN] >= 1
+
+    def test_violation_when_worse_class_chosen(self, target_graph):
+        observations = [
+            _magnet_observation({1: _view(2, 3)}, {1: _view(2, 3)}),
+            # Chooses the provider route although the customer route
+            # was observed.
+            _magnet_observation({1: _view(2, 3)}, {1: _view(4, 3)}),
+        ]
+        table = infer_magnet_decisions(observations, target_graph)
+        assert table.feed_counts[InferredTrigger.VIOLATION] >= 1
+
+    def test_single_observed_route_skipped(self, target_graph):
+        observation = _magnet_observation({1: _view(2, 3)}, {1: _view(2, 3)})
+        table = infer_magnet_decisions([observation], target_graph)
+        assert table.total("feeds") == 0
+
+    def test_channel_visibility(self, target_graph):
+        magnet = {1: _view(4, 3)}
+        anycast = {1: _view(2, 3)}
+        observation = _magnet_observation(
+            magnet, anycast, feed_visible=frozenset(), vp_visible=frozenset({1})
+        )
+        table = infer_magnet_decisions([observation], target_graph)
+        assert table.total("feeds") == 0
+        assert table.total("traceroutes") == 1
+        with pytest.raises(ValueError):
+            table.total("nope")
+
+    def test_validation_accuracy(self, target_graph):
+        observation = _magnet_observation(
+            {1: _view(4, 3)},
+            {1: _view(2, 3)},
+            truth={1: DecisionStep.LOCAL_PREF},
+        )
+        table = infer_magnet_decisions([observation], target_graph)
+        assert table.inference_accuracy() == 1.0

@@ -1,0 +1,197 @@
+"""Tests for baseline models and the improved (corrected) model."""
+
+import pytest
+
+from repro.core.baselines import (
+    GaoRexfordModel,
+    NextHopOnlyModel,
+    ShortestPathModel,
+    evaluate_models,
+)
+from repro.core.classification import Decision
+from repro.core.improved import ImprovedModel, corrected_topology
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+from repro.topology.cables import Cable, CableRegistry
+from repro.whois.siblings import SiblingGroups
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+@pytest.fixture
+def policy_world():
+    """AS1 reaches 9 via customer chain (len 3) or direct peer (len 2)."""
+    return _graph(
+        (1, 2, Relationship.CUSTOMER),
+        (2, 4, Relationship.CUSTOMER),
+        (4, 9, Relationship.SIBLING),
+        (1, 3, Relationship.PEER),
+        (3, 9, Relationship.CUSTOMER),
+    )
+
+
+def _decision(asn, next_hop, destination, measured_len):
+    return Decision(
+        asn=asn,
+        next_hop=next_hop,
+        destination=destination,
+        prefix=PFX,
+        measured_len=measured_len,
+        source_asn=asn,
+    )
+
+
+class TestShortestPathModel:
+    def test_prefers_graph_shortest(self, policy_world):
+        model = ShortestPathModel(policy_world)
+        assert model.predicted_next_hops(1, 9) == frozenset({3})
+        assert model.predicted_length(1, 9) == 2
+
+    def test_unreachable(self):
+        graph = _graph((1, 2, Relationship.PEER))
+        graph.ensure_asn(9)
+        model = ShortestPathModel(graph)
+        assert model.predicted_next_hops(1, 9) == frozenset()
+        assert model.predicted_length(1, 9) is None
+
+    def test_destination_itself(self, policy_world):
+        model = ShortestPathModel(policy_world)
+        assert model.predicted_length(9, 9) == 0
+        assert model.predicted_next_hops(9, 9) == frozenset()
+
+
+class TestGaoRexfordModel:
+    def test_prefers_customer_over_shorter_peer(self, policy_world):
+        model = GaoRexfordModel(policy_world)
+        assert model.predicted_next_hops(1, 9) == frozenset({2})
+        assert model.predicted_length(1, 9) == 3
+
+    def test_ties_return_multiple_next_hops(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (1, 3, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        model = GaoRexfordModel(graph)
+        assert model.predicted_next_hops(1, 9) == frozenset({2, 3})
+
+    def test_peer_neighbor_only_usable_with_customer_route(self):
+        graph = _graph(
+            (1, 2, Relationship.PEER),
+            (3, 2, Relationship.CUSTOMER),   # 2's provider 3
+            (3, 9, Relationship.CUSTOMER),
+        )
+        model = GaoRexfordModel(graph)
+        # 2 reaches 9 via its provider, so it exports nothing to peer 1.
+        assert model.predicted_next_hops(1, 9) == frozenset()
+
+
+class TestNextHopOnlyModel:
+    def test_ignores_length_within_class(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (1, 3, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (3, 4, Relationship.CUSTOMER),
+            (4, 9, Relationship.CUSTOMER),
+        )
+        gr = GaoRexfordModel(graph)
+        nho = NextHopOnlyModel(graph)
+        assert gr.predicted_next_hops(1, 9) == frozenset({2})
+        assert nho.predicted_next_hops(1, 9) == frozenset({2, 3})
+
+
+class TestEvaluation:
+    def test_gr_beats_shortest_path_on_policy_decision(self, policy_world):
+        decisions = [_decision(1, 2, 9, measured_len=3)]
+        scores = {
+            s.name: s
+            for s in evaluate_models(
+                [ShortestPathModel(policy_world), GaoRexfordModel(policy_world)],
+                decisions,
+            )
+        }
+        assert scores["gao-rexford"].next_hop_accuracy == 1.0
+        assert scores["shortest-path"].next_hop_accuracy == 0.0
+        assert scores["gao-rexford"].length_accuracy == 1.0
+
+    def test_prediction_set_size_tracked(self, policy_world):
+        decisions = [_decision(1, 2, 9, measured_len=3)]
+        (score,) = evaluate_models([NextHopOnlyModel(policy_world)], decisions)
+        assert score.mean_prediction_set_size >= 1.0
+
+    def test_empty_decisions(self, policy_world):
+        (score,) = evaluate_models([GaoRexfordModel(policy_world)], [])
+        assert score.next_hop_accuracy == 0.0
+
+
+class TestCorrectedTopology:
+    def test_sibling_merge(self):
+        inferred = _graph((1, 2, Relationship.CUSTOMER))
+        siblings = SiblingGroups([frozenset({1, 2})])
+        corrected = corrected_topology(inferred, siblings=siblings)
+        assert corrected.relationship(1, 2) is Relationship.SIBLING
+
+    def test_cable_relabel(self):
+        inferred = _graph((1, 77, Relationship.PEER), (77, 2, Relationship.CUSTOMER))
+        cables = CableRegistry(
+            [Cable("C", frozenset({"US", "JP"}), operator_asn=77)]
+        )
+        corrected = corrected_topology(inferred, cables=cables)
+        # The cable becomes the provider on both its links.
+        assert corrected.relationship(77, 1) is Relationship.CUSTOMER
+        assert corrected.relationship(77, 2) is Relationship.CUSTOMER
+
+    def test_original_graph_untouched(self):
+        inferred = _graph((1, 2, Relationship.CUSTOMER))
+        siblings = SiblingGroups([frozenset({1, 2})])
+        corrected_topology(inferred, siblings=siblings)
+        assert inferred.relationship(1, 2) is Relationship.CUSTOMER
+
+
+class TestImprovedModel:
+    def test_improves_on_sibling_violations(self):
+        # Measured: 1 routes via 2 (its org sibling) although the
+        # inferred topology calls 2 a provider and offers a peer route.
+        inferred = _graph(
+            (2, 1, Relationship.CUSTOMER),   # inference: 2 provider of 1
+            (2, 9, Relationship.CUSTOMER),
+            (1, 3, Relationship.PEER),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        decisions = [_decision(1, 2, 9, measured_len=2)]
+        from repro.core.classification import DecisionLabel
+        from repro.core.gao_rexford import GaoRexfordEngine
+        from repro.core.classification import classify_decisions
+
+        plain = classify_decisions(decisions, GaoRexfordEngine(inferred))
+        assert plain.counts[DecisionLabel.BEST_SHORT] == 0
+
+        siblings = SiblingGroups([frozenset({1, 2})])
+        improved = ImprovedModel.build(inferred, siblings=siblings)
+        counts = improved.classify(decisions)
+        assert counts.counts[DecisionLabel.BEST_SHORT] == 1
+
+    def test_build_with_all_corrections(self, study):
+        improved = ImprovedModel.build(
+            study.inferred,
+            siblings=study.siblings,
+            cables=study.internet.cables,
+            first_hops=study.first_hops_2,
+        )
+        counts = improved.classify(study.decisions)
+        assert counts.total() == len(study.decisions)
+        # The improved model should do at least as well as plain GR.
+        from repro.core.classification import DecisionLabel
+
+        assert counts.fraction(DecisionLabel.BEST_SHORT) >= study.figure1[
+            "Simple"
+        ].fraction(DecisionLabel.BEST_SHORT)

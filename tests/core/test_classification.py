@@ -1,0 +1,216 @@
+"""Tests for the Best/Short decision classification."""
+
+import pytest
+
+from repro.core.classification import (
+    Decision,
+    DecisionLabel,
+    LabelCounts,
+    classify_decision,
+    classify_decisions,
+    label_decisions,
+)
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+from repro.topology.complex_rel import ComplexRelationships, HybridEntry
+from repro.whois.siblings import SiblingGroups
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+def _decision(asn, next_hop, destination, measured_len, **kwargs):
+    return Decision(
+        asn=asn,
+        next_hop=next_hop,
+        destination=destination,
+        prefix=PFX,
+        measured_len=measured_len,
+        source_asn=kwargs.pop("source_asn", asn),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def diamond():
+    """AS1 can reach 9 via customer 2 (len 2) or via peer 3 (len 2)."""
+    return _graph(
+        (1, 2, Relationship.CUSTOMER),
+        (2, 9, Relationship.CUSTOMER),
+        (1, 3, Relationship.PEER),
+        (3, 9, Relationship.CUSTOMER),
+    )
+
+
+class TestLabels:
+    def test_best_short(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        decision = _decision(1, 2, 9, measured_len=2)
+        assert classify_decision(decision, engine) is DecisionLabel.BEST_SHORT
+
+    def test_nonbest_short(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        # Peer next hop while a customer route of the same length exists.
+        decision = _decision(1, 3, 9, measured_len=2)
+        assert classify_decision(decision, engine) is DecisionLabel.NONBEST_SHORT
+
+    def test_best_long(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (1, 4, Relationship.CUSTOMER),
+            (4, 5, Relationship.CUSTOMER),
+            (5, 9, Relationship.CUSTOMER),
+        )
+        engine = GaoRexfordEngine(graph)
+        decision = _decision(1, 4, 9, measured_len=3)
+        assert classify_decision(decision, engine) is DecisionLabel.BEST_LONG
+
+    def test_nonbest_long(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        decision = _decision(1, 3, 9, measured_len=4)
+        assert classify_decision(decision, engine) is DecisionLabel.NONBEST_LONG
+
+    def test_missing_adjacency_is_nonbest(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        # AS1 -> AS7 is not in the inferred topology at all.
+        decision = _decision(1, 7, 9, measured_len=2)
+        label = classify_decision(decision, engine)
+        assert label is DecisionLabel.NONBEST_SHORT
+
+    def test_shorter_than_model_counts_as_short(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        decision = _decision(1, 2, 9, measured_len=1)
+        assert classify_decision(decision, engine) is DecisionLabel.BEST_SHORT
+
+    def test_no_model_route_grades_best_short(self, diamond):
+        """With no model route at all, any real choice beats the model."""
+        engine = GaoRexfordEngine(diamond)
+        # An empty first-hop set (aggressive PSP with zero visibility of
+        # a still-reachable prefix) leaves the model with no route.
+        decision = _decision(1, 2, 9, measured_len=2)
+        label = classify_decision(
+            decision, engine, allowed_first_hops=frozenset()
+        )
+        assert label is DecisionLabel.BEST_SHORT
+
+    def test_isolated_decider_with_unknown_link_is_nonbest(self, diamond):
+        """A measured adjacency absent from the inferred topology can
+        never be graded Best, even if the model has no route either."""
+        engine = GaoRexfordEngine(diamond)
+        diamond.ensure_asn(8)
+        decision = _decision(8, 1, 9, measured_len=3)
+        assert classify_decision(decision, engine) is DecisionLabel.NONBEST_SHORT
+
+    def test_violation_flag(self):
+        assert not DecisionLabel.BEST_SHORT.is_violation
+        for label in (
+            DecisionLabel.NONBEST_SHORT,
+            DecisionLabel.BEST_LONG,
+            DecisionLabel.NONBEST_LONG,
+        ):
+            assert label.is_violation
+
+
+class TestRefinementLayers:
+    def test_sibling_marks_best(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        siblings = SiblingGroups([frozenset({1, 3})])
+        decision = _decision(1, 3, 9, measured_len=2)
+        assert (
+            classify_decision(decision, engine, siblings=siblings)
+            is DecisionLabel.BEST_SHORT
+        )
+
+    def test_hybrid_relationship_at_border_city(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        # In Frankfurt the 1-3 link actually behaves as 3 being 1's
+        # customer, so the decision is Best there.
+        dataset = ComplexRelationships(
+            hybrid=[HybridEntry(1, 3, "Frankfurt", Relationship.CUSTOMER)]
+        )
+        at_fra = _decision(1, 3, 9, measured_len=2, border_city="Frankfurt")
+        elsewhere = _decision(1, 3, 9, measured_len=2, border_city="Tokyo")
+        assert (
+            classify_decision(at_fra, engine, complex_rel=dataset)
+            is DecisionLabel.BEST_SHORT
+        )
+        assert (
+            classify_decision(elsewhere, engine, complex_rel=dataset)
+            is DecisionLabel.NONBEST_SHORT
+        )
+
+    def test_psp_first_hop_restriction_fixes_long(self):
+        graph = _graph(
+            (2, 9, Relationship.CUSTOMER),   # short way into 9
+            (3, 9, Relationship.CUSTOMER),
+            (1, 2, Relationship.PEER),
+            (1, 4, Relationship.CUSTOMER),
+            (4, 3, Relationship.PEER),
+        )
+        engine = GaoRexfordEngine(graph)
+        # Without PSP the model expects 1 -> 2 -> 9 (peer, len 2); the
+        # measured path 1 -> 4 -> 3 -> 9 looks Long.
+        decision = _decision(1, 4, 9, measured_len=3)
+        assert classify_decision(decision, engine) is DecisionLabel.BEST_LONG
+        # Criterion 1 reveals 9 only announces the prefix to 3.
+        allowed = frozenset({3})
+        assert (
+            classify_decision(decision, engine, allowed_first_hops=allowed)
+            is DecisionLabel.BEST_SHORT
+        )
+
+    def test_classify_decisions_batch_with_psp_map(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        decisions = [
+            _decision(1, 2, 9, measured_len=2),
+            _decision(1, 3, 9, measured_len=2),
+        ]
+        counts = classify_decisions(
+            decisions, engine, first_hops_for={PFX: frozenset({2, 3})}
+        )
+        assert counts.total() == 2
+        assert counts.counts[DecisionLabel.BEST_SHORT] == 1
+        assert counts.counts[DecisionLabel.NONBEST_SHORT] == 1
+
+    def test_label_decisions_keeps_pairs(self, diamond):
+        engine = GaoRexfordEngine(diamond)
+        decisions = [_decision(1, 2, 9, measured_len=2)]
+        labeled = label_decisions(decisions, engine)
+        assert labeled[0][0] is decisions[0]
+        assert labeled[0][1] is DecisionLabel.BEST_SHORT
+
+
+class TestLabelCounts:
+    def test_percentages(self):
+        counts = LabelCounts()
+        counts.add(DecisionLabel.BEST_SHORT, 3)
+        counts.add(DecisionLabel.BEST_LONG, 1)
+        assert counts.total() == 4
+        assert counts.percent(DecisionLabel.BEST_SHORT) == 75.0
+        assert counts.violations() == 1
+
+    def test_empty_fraction_is_zero(self):
+        assert LabelCounts().fraction(DecisionLabel.BEST_SHORT) == 0.0
+
+    def test_addition(self):
+        a = LabelCounts()
+        a.add(DecisionLabel.BEST_SHORT, 2)
+        b = LabelCounts()
+        b.add(DecisionLabel.BEST_SHORT, 1)
+        b.add(DecisionLabel.NONBEST_LONG, 1)
+        merged = a + b
+        assert merged.counts[DecisionLabel.BEST_SHORT] == 3
+        assert merged.total() == 4
+
+    def test_as_percent_dict(self):
+        counts = LabelCounts()
+        counts.add(DecisionLabel.BEST_SHORT, 1)
+        assert counts.as_percent_dict()["Best/Short"] == 100.0

@@ -1,0 +1,172 @@
+"""Tests for per-decision violation attribution."""
+
+import pytest
+
+from repro.core.classification import Decision, DecisionLabel
+from repro.core.explainers import (
+    AttributionReport,
+    Explanation,
+    ViolationExplainer,
+)
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.geography import GeographyAnalysis, LabeledTrace
+from repro.ipmap.geolocation import GeoDatabase
+from repro.net.ip import IPAddress, Prefix
+from repro.topogen.geography import City
+from repro.topology import ASGraph, Relationship
+from repro.topology.cables import Cable, CableRegistry
+from repro.topology.complex_rel import ComplexRelationships, HybridEntry
+from repro.whois.registry import WhoisRecord, WhoisRegistry
+from repro.whois.siblings import SiblingGroups
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+def _decision(asn, next_hop, destination=9, measured_len=2, **kw):
+    return Decision(
+        asn=asn,
+        next_hop=next_hop,
+        destination=destination,
+        prefix=PFX,
+        measured_len=measured_len,
+        source_asn=kw.pop("source_asn", asn),
+        **kw,
+    )
+
+
+@pytest.fixture
+def diamond():
+    """AS1: customer route via 2, peer route via 3 (same length)."""
+    return _graph(
+        (1, 2, Relationship.CUSTOMER),
+        (2, 9, Relationship.CUSTOMER),
+        (1, 3, Relationship.PEER),
+        (3, 9, Relationship.CUSTOMER),
+    )
+
+
+class TestExplanations:
+    def test_consistent_decision(self, diamond):
+        explainer = ViolationExplainer(engine_simple=GaoRexfordEngine(diamond))
+        assert explainer.explain(_decision(1, 2)) is Explanation.CONSISTENT
+
+    def test_unexplained_without_factors(self, diamond):
+        explainer = ViolationExplainer(engine_simple=GaoRexfordEngine(diamond))
+        assert explainer.explain(_decision(1, 3)) is Explanation.UNEXPLAINED
+
+    def test_sibling_explanation(self, diamond):
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(diamond),
+            siblings=SiblingGroups([frozenset({1, 3})]),
+        )
+        assert explainer.explain(_decision(1, 3)) is Explanation.SIBLING
+
+    def test_complex_explanation_wins_over_sibling(self, diamond):
+        dataset = ComplexRelationships(
+            hybrid=[HybridEntry(1, 3, "Paris", Relationship.CUSTOMER)]
+        )
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(diamond),
+            engine_complex=GaoRexfordEngine(diamond),
+            complex_rel=dataset,
+            siblings=SiblingGroups([frozenset({1, 3})]),
+        )
+        decision = _decision(1, 3, border_city="Paris")
+        assert explainer.explain(decision) is Explanation.COMPLEX
+
+    def test_psp_explanation(self, diamond):
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(diamond),
+            first_hops_1={PFX: frozenset({3})},
+        )
+        # Customer 2 never receives the prefix, so the peer route via 3
+        # is the best the model can offer.
+        assert explainer.explain(_decision(1, 3)) is Explanation.PSP_1
+
+    def test_psp2_only_checked_when_different(self, diamond):
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(diamond),
+            first_hops_1={PFX: frozenset({2, 3})},  # does not fix it
+            first_hops_2={PFX: frozenset({3})},     # does
+        )
+        assert explainer.explain(_decision(1, 3)) is Explanation.PSP_2
+
+    def test_cable_explanation(self):
+        graph = _graph(
+            (1, 9, Relationship.PEER),        # mislabel makes this NonBest
+            (1, 77, Relationship.PEER),
+            (77, 9, Relationship.CUSTOMER),
+        )
+        cables = CableRegistry(
+            [Cable("C", frozenset({"US", "JP"}), operator_asn=77)]
+        )
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(graph), cables=cables
+        )
+        # Decision via the cable AS that grades as a violation.
+        decision = _decision(1, 77, destination=9, measured_len=3)
+        assert explainer.explain(decision) is Explanation.CABLE
+
+    def test_domestic_explanation(self):
+        graph = _graph(
+            (1, 2, Relationship.PROVIDER),
+            (2, 3, Relationship.PROVIDER),
+            (3, 9, Relationship.CUSTOMER),
+            (1, 5, Relationship.PROVIDER),
+            (5, 9, Relationship.CUSTOMER),
+        )
+        whois = WhoisRegistry()
+        for asn, country in {1: "US", 2: "US", 3: "US", 5: "GB", 9: "US"}.items():
+            whois.add(WhoisRecord(asn=asn, country=country))
+        geo = GeoDatabase()
+        nyc = City("New York", "US", "NA", 40.7, -74.0)
+        ip = IPAddress.parse("10.0.0.1")
+        geo.add(ip, nyc)
+        engine = GaoRexfordEngine(graph)
+        geography = GeographyAnalysis(geo, whois, CableRegistry(), engine)
+        explainer = ViolationExplainer(engine_simple=engine, geography=geography)
+        decision = _decision(1, 2, destination=9, measured_len=3)
+        trace = LabeledTrace(
+            decisions=[(decision, DecisionLabel.BEST_LONG)],
+            hop_ips=[ip],
+            source_continent="NA",
+        )
+        assert explainer.explain(decision, trace) is Explanation.DOMESTIC
+
+
+class TestAttributionReport:
+    def test_counters(self):
+        report = AttributionReport()
+        report.add(Explanation.CONSISTENT)
+        report.add(Explanation.SIBLING)
+        report.add(Explanation.UNEXPLAINED)
+        assert report.total() == 3
+        assert report.violations() == 2
+        assert report.explained() == 1
+        assert report.explained_fraction() == pytest.approx(0.5)
+        assert report.percent_of_violations(Explanation.SIBLING) == pytest.approx(50.0)
+        assert report.percent_of_violations(Explanation.CONSISTENT) == 0.0
+
+    def test_attribute_traces(self, diamond):
+        explainer = ViolationExplainer(
+            engine_simple=GaoRexfordEngine(diamond),
+            siblings=SiblingGroups([frozenset({1, 3})]),
+        )
+        trace = LabeledTrace(
+            decisions=[
+                (_decision(1, 2), DecisionLabel.BEST_SHORT),
+                (_decision(1, 3), DecisionLabel.NONBEST_SHORT),
+            ],
+            hop_ips=[],
+            source_continent="NA",
+        )
+        report = explainer.attribute([trace])
+        assert report.counts[Explanation.CONSISTENT] == 1
+        assert report.counts[Explanation.SIBLING] == 1

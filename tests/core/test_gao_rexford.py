@@ -1,0 +1,273 @@
+"""Tests for the Gao-Rexford routing engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.topology import ASGraph, Relationship
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+class TestRoutingStages:
+    def test_customer_routes_climb_provider_links(self):
+        # 1 provider of 2 provider of 3 (destination).
+        graph = _graph((1, 2, Relationship.CUSTOMER), (2, 3, Relationship.CUSTOMER))
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert info.customer_dist == {3: 0, 2: 1, 1: 2}
+        assert info.best_class(1) is Relationship.CUSTOMER
+        assert info.gr_route_length(1) == 2
+
+    def test_peer_routes_one_hop_over_customer_routes(self):
+        graph = _graph(
+            (2, 3, Relationship.CUSTOMER),  # 2 provider of 3
+            (2, 4, Relationship.PEER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert info.peer_dist[4] == 2
+        assert info.best_class(4) is Relationship.PEER
+
+    def test_no_peer_route_over_peer_route(self):
+        """Valley-free: a peer route is not re-exported to peers."""
+        graph = _graph(
+            (2, 3, Relationship.PEER),
+            (2, 4, Relationship.PEER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert 2 in info.peer_dist
+        assert 4 not in info.peer_dist
+        assert not info.has_route(4)
+
+    def test_provider_routes_descend(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),  # 1 provider of 2
+            (1, 3, Relationship.CUSTOMER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        # 2 reaches 3 via its provider 1.
+        assert info.provider_dist[2] == 2
+        assert info.best_class(2) is Relationship.PROVIDER
+
+    def test_provider_route_chains(self):
+        """Provider routes propagate down multiple levels."""
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 4, Relationship.CUSTOMER),
+            (1, 3, Relationship.CUSTOMER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert info.provider_dist[4] == 3  # 4 -> 2 -> 1 -> 3
+
+    def test_chosen_route_length_not_class_minimum(self):
+        """A provider exports its *chosen* (cheapest-class) route even
+        when a shorter route of a worse class exists."""
+        graph = _graph(
+            # Destination 9; provider 1 has a long customer route and a
+            # short provider route toward it.
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+            (3, 9, Relationship.CUSTOMER),
+            (8, 1, Relationship.CUSTOMER),  # 8 provider of 1
+            (8, 9, Relationship.CUSTOMER),  # 8 provider of 9
+            (1, 7, Relationship.CUSTOMER),  # 7 is 1's customer
+        )
+        info = GaoRexfordEngine(graph).routing_info(9)
+        # 1's chosen route is the customer route of length 3, not the
+        # provider route of length 2 via 8.
+        assert info.customer_dist[1] == 3
+        assert info.provider_dist[1] == 2
+        assert info.gr_route_length(1) == 3
+        # 7 learns 1's chosen route: 1 + 3.
+        assert info.provider_dist[7] == 4
+
+    def test_sibling_links_carry_customer_routes(self):
+        graph = _graph(
+            (1, 2, Relationship.SIBLING),
+            (2, 3, Relationship.CUSTOMER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert info.customer_dist[1] == 2
+
+    def test_unknown_destination_raises(self):
+        graph = _graph((1, 2, Relationship.PEER))
+        with pytest.raises(KeyError):
+            GaoRexfordEngine(graph).routing_info(99)
+
+    def test_destination_has_zero_length(self):
+        graph = _graph((1, 2, Relationship.CUSTOMER))
+        info = GaoRexfordEngine(graph).routing_info(2)
+        assert info.gr_route_length(2) == 0
+
+
+class TestFirstHopRestriction:
+    def test_restriction_prunes_provider(self):
+        graph = _graph(
+            (1, 3, Relationship.CUSTOMER),  # 1 provider of 3
+            (2, 3, Relationship.CUSTOMER),  # 2 provider of 3
+            (1, 2, Relationship.PEER),
+        )
+        engine = GaoRexfordEngine(graph)
+        unrestricted = engine.routing_info(3)
+        assert unrestricted.customer_dist[1] == 1
+        restricted = engine.routing_info(3, allowed_first_hops=frozenset({2}))
+        # 1 can now reach 3 only through its peer 2.
+        assert 1 not in restricted.customer_dist
+        assert restricted.peer_dist[1] == 2
+
+    def test_restriction_prunes_customer_direction(self):
+        graph = _graph(
+            (3, 4, Relationship.CUSTOMER),  # 4 is 3's customer
+            (3, 5, Relationship.CUSTOMER),
+        )
+        engine = GaoRexfordEngine(graph)
+        restricted = engine.routing_info(3, allowed_first_hops=frozenset({5}))
+        assert not restricted.has_route(4)
+        assert restricted.has_route(5)
+
+    def test_results_are_cached_per_restriction(self):
+        graph = _graph((1, 2, Relationship.CUSTOMER))
+        engine = GaoRexfordEngine(graph)
+        a = engine.routing_info(2)
+        b = engine.routing_info(2)
+        c = engine.routing_info(2, allowed_first_hops=frozenset({1}))
+        assert a is b
+        assert c is not a
+
+
+class TestPartialTransit:
+    def test_partial_transit_blocks_provider_routes_downstream(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),  # 1 provider of 2
+            (2, 4, Relationship.CUSTOMER),  # 2 provider of 4
+            (1, 3, Relationship.CUSTOMER),  # destination 3 behind 1
+        )
+        full = GaoRexfordEngine(graph).routing_info(3)
+        assert full.provider_dist[4] == 3
+        limited = GaoRexfordEngine(
+            graph, partial_transit=frozenset({(2, 4)})
+        ).routing_info(3)
+        # 2's route toward 3 is provider-learned, so partial-transit
+        # customer 4 does not receive it.
+        assert not limited.has_route(4)
+
+    def test_partial_transit_still_passes_customer_routes(self):
+        graph = _graph(
+            (2, 3, Relationship.CUSTOMER),  # destination 3 is 2's customer
+            (2, 4, Relationship.CUSTOMER),
+        )
+        limited = GaoRexfordEngine(
+            graph, partial_transit=frozenset({(2, 4)})
+        ).routing_info(3)
+        assert limited.provider_dist[4] == 2
+
+
+class TestPathReconstruction:
+    def test_path_matches_length(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+            (1, 4, Relationship.PEER),
+            (4, 5, Relationship.CUSTOMER),
+        )
+        engine = GaoRexfordEngine(graph)
+        info = engine.routing_info(3)
+        for asn in graph.asns():
+            length = info.gr_route_length(asn)
+            path = info.gr_route_path(asn)
+            if length is None:
+                assert path is None
+            else:
+                assert path is not None
+                assert path[0] == asn
+                assert path[-1] == 3
+                assert len(path) - 1 == length
+
+    def test_peer_route_path_crosses_one_peer_link(self):
+        graph = _graph(
+            (2, 3, Relationship.CUSTOMER),
+            (2, 4, Relationship.PEER),
+        )
+        info = GaoRexfordEngine(graph).routing_info(3)
+        assert info.gr_route_path(4) == (4, 2, 3)
+
+
+rel_strategy = st.sampled_from(
+    [Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER]
+)
+
+
+@st.composite
+def random_graphs(draw):
+    num_ases = draw(st.integers(min_value=2, max_value=12))
+    asns = list(range(1, num_ases + 1))
+    graph = ASGraph()
+    for asn in asns:
+        graph.ensure_asn(asn)
+    num_links = draw(st.integers(min_value=1, max_value=24))
+    for _ in range(num_links):
+        a = draw(st.sampled_from(asns))
+        b = draw(st.sampled_from(asns))
+        if a == b:
+            continue
+        # Orient c2p links from lower to higher ASN so the customer-
+        # provider hierarchy is acyclic (as on the real Internet).
+        rel = draw(rel_strategy)
+        if rel is Relationship.CUSTOMER:
+            graph.add_link(min(a, b), max(a, b), Relationship.CUSTOMER)
+        elif rel is Relationship.PROVIDER:
+            graph.add_link(max(a, b), min(a, b), Relationship.CUSTOMER)
+        else:
+            graph.add_link(a, b, Relationship.PEER)
+    return graph
+
+
+class TestEngineProperties:
+    @given(random_graphs(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=150, deadline=None)
+    def test_reconstructed_paths_are_valley_free(self, graph, destination):
+        """Every model path must be valley-free with correct length."""
+        if destination not in graph:
+            return
+        engine = GaoRexfordEngine(graph)
+        info = engine.routing_info(destination)
+        for asn in graph.asns():
+            path = info.gr_route_path(asn)
+            if path is None:
+                continue
+            assert len(path) - 1 == info.gr_route_length(asn)
+            # Valley-free: downhill (provider->customer) or peer edges
+            # must never be followed by uphill (customer->provider),
+            # and at most one peer edge overall.
+            went_down = False
+            peer_edges = 0
+            for left, right in zip(path[:-1], path[1:]):
+                rel = graph.relationship(left, right)
+                assert rel is not None
+                if rel is Relationship.PEER:
+                    peer_edges += 1
+                    went_down = True
+                elif rel is Relationship.CUSTOMER:
+                    went_down = True
+                elif rel is Relationship.PROVIDER:
+                    assert not went_down, f"valley in {path}"
+            assert peer_edges <= 1
+
+    @given(random_graphs(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=100, deadline=None)
+    def test_class_priority_is_respected(self, graph, destination):
+        if destination not in graph:
+            return
+        info = GaoRexfordEngine(graph).routing_info(destination)
+        for asn in graph.asns():
+            best = info.best_class(asn)
+            if best is Relationship.PEER:
+                assert asn not in info.customer_dist
+            if best is Relationship.PROVIDER:
+                assert asn not in info.customer_dist
+                assert asn not in info.peer_dist

@@ -1,0 +1,196 @@
+"""Tests for the geography analyses (Figure 3, Tables 3-4)."""
+
+import pytest
+
+from repro.core.classification import Decision, DecisionLabel
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.geography import GeographyAnalysis, LabeledTrace
+from repro.ipmap.geolocation import GeoDatabase
+from repro.net.ip import IPAddress, Prefix
+from repro.topogen.geography import City
+from repro.topology import ASGraph, Relationship
+from repro.topology.cables import Cable, CableRegistry
+from repro.whois.registry import WhoisRecord, WhoisRegistry
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+NYC = City("New York", "US", "NA", 40.7, -74.0)
+CHI = City("Chicago", "US", "NA", 41.9, -87.6)
+LON = City("London", "GB", "EU", 51.5, -0.1)
+PAR = City("Paris", "FR", "EU", 48.9, 2.4)
+
+IP_NYC = IPAddress.parse("10.0.0.1")
+IP_CHI = IPAddress.parse("10.0.0.2")
+IP_LON = IPAddress.parse("10.0.0.3")
+IP_PAR = IPAddress.parse("10.0.0.4")
+
+
+def _geo():
+    geo = GeoDatabase()
+    geo.add(IP_NYC, NYC)
+    geo.add(IP_CHI, CHI)
+    geo.add(IP_LON, LON)
+    geo.add(IP_PAR, PAR)
+    return geo
+
+
+def _whois(countries):
+    registry = WhoisRegistry()
+    for asn, country in countries.items():
+        registry.add(WhoisRecord(asn=asn, country=country))
+    return registry
+
+
+def _decision(asn, next_hop, destination=9, measured_len=2, source_asn=1):
+    return Decision(
+        asn=asn,
+        next_hop=next_hop,
+        destination=destination,
+        prefix=PFX,
+        measured_len=measured_len,
+        source_asn=source_asn,
+    )
+
+
+def _analysis(graph=None, countries=None, cables=None):
+    graph = graph or ASGraph()
+    if 9 not in graph:
+        graph.add_link(1, 9, Relationship.CUSTOMER)
+    return GeographyAnalysis(
+        _geo(),
+        _whois(countries or {}),
+        cables or CableRegistry(),
+        GaoRexfordEngine(graph),
+    )
+
+
+class TestTraceGeography:
+    def test_trace_continent_single(self):
+        analysis = _analysis()
+        trace = LabeledTrace(decisions=[], hop_ips=[IP_NYC, IP_CHI], source_continent="NA")
+        assert analysis.trace_continent(trace) == "NA"
+
+    def test_trace_continent_mixed_is_none(self):
+        analysis = _analysis()
+        trace = LabeledTrace(decisions=[], hop_ips=[IP_NYC, IP_LON], source_continent="NA")
+        assert analysis.trace_continent(trace) is None
+
+    def test_unknown_hops_ignored(self):
+        analysis = _analysis()
+        unknown = IPAddress.parse("172.16.0.1")
+        trace = LabeledTrace(decisions=[], hop_ips=[IP_NYC, unknown], source_continent="NA")
+        assert analysis.trace_continent(trace) == "NA"
+
+    def test_trace_country(self):
+        analysis = _analysis()
+        domestic = LabeledTrace(decisions=[], hop_ips=[IP_NYC, IP_CHI], source_continent="NA")
+        crossing = LabeledTrace(decisions=[], hop_ips=[IP_LON, IP_PAR], source_continent="EU")
+        assert analysis.trace_country(domestic) == "US"
+        assert analysis.trace_country(crossing) is None
+
+
+class TestContinentalBreakdown:
+    def test_buckets(self):
+        analysis = _analysis()
+        continental = LabeledTrace(
+            decisions=[(_decision(1, 9), DecisionLabel.BEST_SHORT)],
+            hop_ips=[IP_NYC, IP_CHI],
+            source_continent="NA",
+        )
+        crossing = LabeledTrace(
+            decisions=[(_decision(1, 9), DecisionLabel.BEST_LONG)],
+            hop_ips=[IP_NYC, IP_LON],
+            source_continent="NA",
+        )
+        breakdown = analysis.continental_breakdown([continental, crossing])
+        assert breakdown.continental.total() == 1
+        assert breakdown.intercontinental.total() == 1
+        assert breakdown.per_continent["NA"].total() == 1
+        assert breakdown.continental_trace_fraction() == pytest.approx(0.5)
+
+
+class TestDomesticRows:
+    def test_explained_when_model_goes_abroad(self):
+        # Measured: 1 -> 2 -> 9 all US; model prefers 1 -> 5 -> 9 where
+        # 5 is registered in GB.
+        graph = ASGraph()
+        graph.add_link(1, 2, Relationship.PROVIDER)   # 2 is 1's provider
+        graph.add_link(2, 3, Relationship.PROVIDER)
+        graph.add_link(3, 9, Relationship.CUSTOMER)
+        graph.add_link(1, 5, Relationship.PROVIDER)
+        graph.add_link(5, 9, Relationship.CUSTOMER)
+        countries = {1: "US", 2: "US", 3: "US", 5: "GB", 9: "US"}
+        analysis = _analysis(graph=graph, countries=countries)
+        violation = _decision(1, 2, destination=9, measured_len=3)
+        trace = LabeledTrace(
+            decisions=[(violation, DecisionLabel.BEST_LONG)],
+            hop_ips=[IP_NYC, IP_CHI],
+            source_continent="NA",
+        )
+        rows = {row.continent: row for row in analysis.domestic_rows([trace])}
+        assert rows["NA"].violations == 1
+        assert rows["NA"].explained == 1
+        assert analysis.domestic_explained_fraction([trace]) == pytest.approx(1.0)
+
+    def test_not_explained_when_model_stays_domestic(self):
+        graph = ASGraph()
+        graph.add_link(1, 2, Relationship.PROVIDER)
+        graph.add_link(2, 9, Relationship.CUSTOMER)
+        countries = {1: "US", 2: "US", 9: "US"}
+        analysis = _analysis(graph=graph, countries=countries)
+        violation = _decision(1, 2, destination=9, measured_len=5)
+        trace = LabeledTrace(
+            decisions=[(violation, DecisionLabel.BEST_LONG)],
+            hop_ips=[IP_NYC, IP_CHI],
+            source_continent="NA",
+        )
+        rows = {row.continent: row for row in analysis.domestic_rows([trace])}
+        assert rows["NA"].violations == 1
+        assert rows["NA"].explained == 0
+
+    def test_multicountry_traces_skipped(self):
+        analysis = _analysis(countries={1: "US", 9: "US"})
+        trace = LabeledTrace(
+            decisions=[(_decision(1, 9), DecisionLabel.BEST_LONG)],
+            hop_ips=[IP_NYC, IP_LON],
+            source_continent="NA",
+        )
+        rows = analysis.domestic_rows([trace])
+        assert all(row.violations == 0 for row in rows)
+
+
+class TestCableSummary:
+    def test_attribution(self):
+        cables = CableRegistry(
+            [Cable("C1", frozenset({"US", "GB"}), operator_asn=77)]
+        )
+        analysis = _analysis(cables=cables)
+        via_cable = LabeledTrace(
+            decisions=[
+                (_decision(1, 77), DecisionLabel.NONBEST_LONG),
+                (_decision(77, 9), DecisionLabel.BEST_SHORT),
+            ],
+            hop_ips=[IP_NYC, IP_LON],
+            source_continent="NA",
+        )
+        clean = LabeledTrace(
+            decisions=[(_decision(1, 9), DecisionLabel.BEST_SHORT)],
+            hop_ips=[IP_NYC, IP_CHI],
+            source_continent="NA",
+        )
+        summary = analysis.cable_summary([via_cable, clean])
+        assert summary.paths_total == 2
+        assert summary.paths_with_cables == 1
+        assert summary.cable_decisions == 2
+        assert summary.cable_decisions_deviating == 1
+        assert summary.deviating_fraction == pytest.approx(0.5)
+        rows = {row.label: row for row in summary.rows}
+        assert rows[DecisionLabel.NONBEST_LONG].involving_cables == 1
+        assert rows[DecisionLabel.NONBEST_LONG].percent == pytest.approx(100.0)
+
+    def test_empty_traces(self):
+        analysis = _analysis()
+        summary = analysis.cable_summary([])
+        assert summary.paths_total == 0
+        assert summary.path_fraction == 0.0
+        assert summary.deviating_fraction == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the path-prediction API."""
+
+import pytest
+
+from repro.core.prediction import PathPredictor, evaluate_predictions
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+
+P1 = Prefix.parse("198.51.100.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+@pytest.fixture
+def predictor():
+    graph = _graph(
+        (1, 2, Relationship.CUSTOMER),
+        (2, 9, Relationship.CUSTOMER),
+        (1, 3, Relationship.PEER),
+        (3, 9, Relationship.CUSTOMER),
+    )
+    return PathPredictor.from_graph(graph)
+
+
+class TestPathPredictor:
+    def test_predicts_customer_path(self, predictor):
+        assert predictor.predict(1, 9) == (1, 2, 9)
+        assert predictor.predict_length(1, 9) == 2
+
+    def test_unreachable_returns_none(self, predictor):
+        predictor.engine.graph.ensure_asn(42)
+        assert predictor.predict(42, 9) is None
+        assert predictor.predict_length(42, 9) is None
+
+    def test_psp_restriction_changes_prediction(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 9, Relationship.CUSTOMER),
+            (1, 3, Relationship.CUSTOMER),
+            (3, 4, Relationship.CUSTOMER),
+            (4, 9, Relationship.CUSTOMER),
+        )
+        predictor = PathPredictor(
+            engine=__import__("repro.core.gao_rexford", fromlist=["GaoRexfordEngine"]).GaoRexfordEngine(graph),
+            first_hops={P1: frozenset({4})},
+        )
+        assert predictor.predict(1, 9) == (1, 2, 9)
+        assert predictor.predict(1, 9, prefix=P1) == (1, 3, 4, 9)
+
+
+class TestEvaluation:
+    def test_exact_match_scores(self, predictor):
+        measured = [(1, 2, 9)]
+        score = evaluate_predictions(predictor, measured)
+        assert score.pairs == 1
+        assert score.coverage == 1.0
+        assert score.exact_match_rate == 1.0
+        assert score.first_hop_accuracy == 1.0
+        assert score.mean_length_error == 0.0
+
+    def test_mismatch_scores(self, predictor):
+        # Measured uses the peer detour; predictor says customer path.
+        measured = [(1, 3, 9)]
+        score = evaluate_predictions(predictor, measured)
+        assert score.exact_match_rate == 0.0
+        assert score.first_hop_accuracy == 0.0
+        assert score.mean_length_error == 0.0  # same length
+
+    def test_length_error(self, predictor):
+        measured = [(1, 3, 5, 6, 9)]
+        score = evaluate_predictions(predictor, measured)
+        assert score.mean_length_error == 2.0
+
+    def test_uncovered_pairs(self, predictor):
+        predictor.engine.graph.ensure_asn(42)
+        score = evaluate_predictions(predictor, [(42, 9)])
+        assert score.pairs == 1
+        assert score.coverage == 0.0
+        assert score.exact_match_rate == 0.0
+
+    def test_trivial_paths_skipped(self, predictor):
+        score = evaluate_predictions(predictor, [(9,)])
+        assert score.pairs == 0
+
+    def test_empty(self, predictor):
+        score = evaluate_predictions(predictor, [])
+        assert score.pairs == 0
+        assert score.coverage == 0.0

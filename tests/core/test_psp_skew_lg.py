@@ -1,0 +1,203 @@
+"""Tests for PSP criteria, violation skew, and looking-glass validation."""
+
+import pytest
+
+from repro.bgp import BGPSimulator, Policy
+from repro.core.classification import Decision, DecisionLabel
+from repro.core.looking_glass import LookingGlassDeployment, validate_psp_cases
+from repro.core.psp import PrefixPolicyAnalysis, PSPCase, case_neighbor_count
+from repro.core.skew import compute_skew
+from repro.net.ip import Prefix
+from repro.peering.collectors import FeedArchive, RouteCollector
+from repro.topology import ASGraph, Relationship
+
+P1 = Prefix.parse("198.51.100.0/24")
+P2 = Prefix.parse("203.0.113.0/24")
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+@pytest.fixture
+def selective_world():
+    """Origin 9 with providers 2 and 3; P1 announced only to 3."""
+    graph = _graph(
+        (2, 9, Relationship.CUSTOMER),
+        (3, 9, Relationship.CUSTOMER),
+        (1, 2, Relationship.CUSTOMER),
+        (1, 3, Relationship.CUSTOMER),
+    )
+    policies = {9: Policy(asn=9, selective_export={P1: frozenset({3})})}
+    sim = BGPSimulator(graph, policies=policies)
+    sim.originate(9, P1)
+    sim.originate(9, P2)
+    feeds = FeedArchive([RouteCollector(name="rv", peer_asns=(1, 2, 3))])
+    feeds.record(sim, [P1, P2])
+    return graph, sim, feeds
+
+
+class TestPSPCriteria:
+    def test_criterion1_prunes_unobserved_edge(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        allowed = psp.allowed_first_hops(P1, 9, criterion=1)
+        assert allowed == frozenset({3})
+
+    def test_criterion2_requires_other_prefix_evidence(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        # P2 is visible via 2, so the missing P1 via 2 is evidence of
+        # selective announcement under criterion 2 as well.
+        allowed = psp.allowed_first_hops(P1, 9, criterion=2)
+        assert allowed == frozenset({3})
+
+    def test_criterion2_spares_invisible_edges(self):
+        graph = _graph(
+            (2, 9, Relationship.CUSTOMER),
+            (3, 9, Relationship.CUSTOMER),
+        )
+        sim = BGPSimulator(graph)
+        sim.originate(9, P1)
+        # Collector peers only with 3: edge 2-9 is invisible, not
+        # selective.
+        feeds = FeedArchive([RouteCollector(name="rv", peer_asns=(3,))])
+        feeds.record(sim, [P1])
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        assert psp.allowed_first_hops(P1, 9, criterion=1) == frozenset({3})
+        assert psp.allowed_first_hops(P1, 9, criterion=2) == frozenset({2, 3})
+
+    def test_unseen_prefix_returns_none(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        unseen = Prefix.parse("192.0.2.0/24")
+        assert psp.allowed_first_hops(unseen, 9, criterion=1) is None
+
+    def test_invalid_criterion_rejected(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        with pytest.raises(ValueError):
+            psp.allowed_first_hops(P1, 9, criterion=3)
+
+    def test_cases_enumerate_pruned_edges(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        cases = psp.cases({P1: 9, P2: 9}, criterion=1)
+        assert len(cases) == 1
+        assert cases[0].prefix == P1
+        assert cases[0].pruned_neighbors == frozenset({2})
+        assert case_neighbor_count(cases) == 1
+
+    def test_first_hops_map_skips_invisible(self, selective_world):
+        graph, _sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        unseen = Prefix.parse("192.0.2.0/24")
+        result = psp.first_hops_map({P1: 9, unseen: 9}, criterion=1)
+        assert P1 in result and unseen not in result
+
+
+class TestSkew:
+    def _decision(self, source, destination):
+        return Decision(
+            asn=source,
+            next_hop=source + 1,
+            destination=destination,
+            prefix=P1,
+            measured_len=2,
+            source_asn=source,
+        )
+
+    def test_skew_counts_only_violations(self):
+        labeled = [
+            (self._decision(1, 100), DecisionLabel.BEST_SHORT),
+            (self._decision(1, 100), DecisionLabel.BEST_LONG),
+            (self._decision(2, 100), DecisionLabel.NONBEST_LONG),
+            (self._decision(2, 200), DecisionLabel.NONBEST_SHORT),
+        ]
+        skew = compute_skew(labeled)
+        assert skew.by_destination.total() == 3
+        assert skew.by_destination.share_of(100) == pytest.approx(2 / 3)
+        assert skew.by_source.top_share(1) == pytest.approx(2 / 3)
+
+    def test_cumulative_fractions_monotone(self):
+        labeled = [
+            (self._decision(s, 100 + s % 3), DecisionLabel.BEST_LONG)
+            for s in range(1, 20)
+        ]
+        skew = compute_skew(labeled)
+        fractions = skew.by_source.cumulative_fractions()
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empty_skew(self):
+        skew = compute_skew([])
+        assert skew.by_destination.total() == 0
+        assert skew.by_destination.cumulative_fractions() == []
+        assert skew.by_destination.gini_like_area() == 0.0
+
+    def test_even_distribution_has_zero_area(self):
+        labeled = [
+            (self._decision(s, 100 + s), DecisionLabel.BEST_LONG)
+            for s in range(1, 11)
+        ]
+        skew = compute_skew(labeled)
+        assert skew.by_destination.gini_like_area() == pytest.approx(0.0)
+
+    def test_label_filter(self):
+        labeled = [
+            (self._decision(1, 100), DecisionLabel.BEST_LONG),
+            (self._decision(2, 100), DecisionLabel.NONBEST_SHORT),
+        ]
+        skew = compute_skew(labeled, labels=[DecisionLabel.BEST_LONG])
+        assert skew.by_destination.total() == 1
+
+
+class TestLookingGlass:
+    def test_deployment_rate_bounds(self, selective_world):
+        _graph_, sim, _feeds = selective_world
+        with pytest.raises(ValueError):
+            LookingGlassDeployment(sim, deployment_rate=1.5)
+        everyone = LookingGlassDeployment(sim, deployment_rate=1.0)
+        assert everyone.hosts == set(sim.graph.asns())
+        nobody = LookingGlassDeployment(sim, deployment_rate=0.0)
+        assert nobody.hosts == set()
+
+    def test_query_requires_server(self, selective_world):
+        _graph_, sim, _feeds = selective_world
+        nobody = LookingGlassDeployment(sim, deployment_rate=0.0)
+        with pytest.raises(LookupError):
+            nobody.query(1, P1)
+
+    def test_validation_confirms_true_psp(self, selective_world):
+        graph, sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        cases = psp.cases({P1: 9, P2: 9}, criterion=1)
+        looking_glasses = LookingGlassDeployment(sim, deployment_rate=1.0)
+        validation = validate_psp_cases(cases, looking_glasses)
+        # AS2 genuinely does not receive P1 from 9 directly.
+        assert validation.checked == 1
+        assert validation.confirmed == 1
+        assert validation.precision == 1.0
+
+    def test_validation_refutes_false_psp(self, selective_world):
+        graph, sim, _feeds = selective_world
+        # Fabricate a wrong inference: claims 3 does not get P2 from 9.
+        bogus = PSPCase(
+            origin=9, prefix=P2, pruned_neighbors=frozenset({3}), criterion=1
+        )
+        looking_glasses = LookingGlassDeployment(sim, deployment_rate=1.0)
+        validation = validate_psp_cases([bogus], looking_glasses)
+        assert validation.checked == 1
+        assert validation.confirmed == 0
+
+    def test_max_checks_cap(self, selective_world):
+        graph, sim, feeds = selective_world
+        psp = PrefixPolicyAnalysis(graph, feeds)
+        cases = psp.cases({P1: 9, P2: 9}, criterion=1)
+        looking_glasses = LookingGlassDeployment(sim, deployment_rate=1.0)
+        validation = validate_psp_cases(cases, looking_glasses, max_checks=0)
+        assert validation.checked == 0
+        assert validation.precision == 0.0

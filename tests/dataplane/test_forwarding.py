@@ -1,0 +1,113 @@
+"""Tests for per-AS FIBs and address-level data paths."""
+
+import pytest
+
+from repro.bgp import BGPSimulator
+from repro.dataplane.forwarding import (
+    DataPath,
+    ForwardingTable,
+    build_fibs,
+    data_path,
+)
+from repro.net.ip import IPAddress, Prefix
+from repro.topology import ASGraph, Relationship
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+
+def _converged_chain():
+    graph = ASGraph()
+    graph.add_link(1, 2, Relationship.CUSTOMER)
+    graph.add_link(2, 3, Relationship.CUSTOMER)
+    sim = BGPSimulator(graph)
+    sim.originate(3, PFX)
+    return sim
+
+
+class TestForwardingTable:
+    def test_from_simulator(self):
+        sim = _converged_chain()
+        fib = ForwardingTable.from_simulator(sim, 1)
+        assert len(fib) == 1
+        assert fib.lookup(PFX.address_at(5)) == 2
+        assert fib.lookup(IPAddress.parse("203.0.113.1")) is None
+
+    def test_origin_fib_points_to_self(self):
+        sim = _converged_chain()
+        fib = ForwardingTable.from_simulator(sim, 3)
+        assert fib.lookup(PFX.address_at(5)) == 3
+
+    def test_longest_prefix_match(self):
+        fib = ForwardingTable(asn=1)
+        fib.install(Prefix.parse("10.0.0.0/8"), 2)
+        fib.install(Prefix.parse("10.1.0.0/16"), 3)
+        assert fib.lookup(IPAddress.parse("10.1.2.3")) == 3
+        assert fib.lookup(IPAddress.parse("10.2.0.1")) == 2
+
+    def test_entries(self):
+        fib = ForwardingTable(asn=1)
+        fib.install(PFX, 2)
+        entries = fib.entries()
+        assert len(entries) == 1
+        assert entries[0].prefix == PFX
+        assert entries[0].next_hop_asn == 2
+
+
+class TestDataPath:
+    def test_delivery_across_chain(self):
+        sim = _converged_chain()
+        fibs = build_fibs(sim)
+        path = data_path(fibs, 1, PFX.address_at(9))
+        assert path.delivered
+        assert path.hops == (1, 2, 3)
+        assert not path.looped
+        assert not path.blackholed
+
+    def test_blackhole_without_route(self):
+        sim = _converged_chain()
+        fibs = build_fibs(sim)
+        path = data_path(fibs, 1, IPAddress.parse("203.0.113.1"))
+        assert path.blackholed
+        assert path.hops == (1,)
+
+    def test_loop_detection(self):
+        fib1 = ForwardingTable(asn=1)
+        fib1.install(PFX, 2)
+        fib2 = ForwardingTable(asn=2)
+        fib2.install(PFX, 1)
+        path = data_path({1: fib1, 2: fib2}, 1, PFX.address_at(1))
+        assert path.looped
+        assert not path.delivered
+        assert path.hops == (1, 2)
+
+    def test_missing_fib_is_blackhole(self):
+        fib1 = ForwardingTable(asn=1)
+        fib1.install(PFX, 2)
+        path = data_path({1: fib1}, 1, PFX.address_at(1))
+        assert path.blackholed
+
+    def test_fib_paths_match_control_plane(self):
+        """Address-level forwarding agrees with the simulator's own
+        AS-level path reconstruction on a converged network."""
+        from repro.topogen import generate_internet
+        from repro.topogen.config import small_config
+
+        internet = generate_internet(small_config(), seed=17)
+        sim = BGPSimulator(
+            internet.graph, policies=internet.policies, country_of=internet.country_of
+        )
+        origin = internet.content[0].asns[0]
+        prefix = internet.prefixes[origin][-1]
+        sim.originate(origin, prefix)
+        fibs = build_fibs(sim)
+        checked = 0
+        for asn in list(internet.eyeball_asns)[:30]:
+            control = sim.forwarding_path(asn, prefix)
+            data = data_path(fibs, asn, prefix.address_at(1))
+            if control is None:
+                assert not data.delivered
+                continue
+            assert data.delivered
+            assert data.hops == control
+            checked += 1
+        assert checked > 10

@@ -1,0 +1,41 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "poisoning-dataset" in output
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--small", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "serial format" in output
+        assert "|" in output
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "topo.txt"
+        assert main(["generate", "--small", "--seed", "1", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generated_file_parses_back(self, tmp_path):
+        from repro.topology.serial import load_relationships
+
+        out = tmp_path / "topo.txt"
+        main(["generate", "--small", "--seed", "1", "--out", str(out)])
+        graph = load_relationships(out)
+        assert graph.num_links() > 100
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--experiment", "nope"])

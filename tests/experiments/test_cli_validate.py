@@ -1,0 +1,20 @@
+"""Tests for the validate CLI command."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestValidate:
+    def test_small_scenario_passes(self, capsys):
+        exit_code = main(["validate", "--small", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "figure1" in output
+        assert "all shape checks hold" in output
+
+    def test_reports_per_experiment_verdicts(self, capsys):
+        main(["validate", "--small", "--seed", "3"])
+        output = capsys.readouterr().out
+        for experiment_id in ("figure2", "table2", "alternate-routes"):
+            assert experiment_id in output

@@ -1,0 +1,88 @@
+"""Tests for the experiment harnesses and report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    alternate_routes,
+    figure1,
+    figure2,
+    figure3,
+    poisoning_dataset,
+    psp_validation,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.report import ExperimentReport, Row
+
+ALL_HARNESSES = [
+    figure1,
+    figure2,
+    figure3,
+    table1,
+    table2,
+    table3,
+    table4,
+    alternate_routes,
+    psp_validation,
+    poisoning_dataset,
+]
+
+
+class TestReportRendering:
+    def test_row_formats_units(self):
+        row = Row(label="x", paper=12.34, measured=56.78)
+        text = row.render(4)
+        assert "12.3%" in text and "56.8%" in text
+
+    def test_row_handles_missing_values(self):
+        row = Row(label="x", paper=None, measured=None)
+        assert "-" in row.render(4)
+
+    def test_report_render_contains_all_rows(self):
+        report = ExperimentReport(experiment_id="T", title="demo")
+        report.add("alpha", 1.0, 2.0)
+        report.add("beta", None, 3.0, unit="")
+        report.note("a note")
+        text = report.render()
+        assert "T: demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "note: a note" in text
+        assert report.measured_by_label()["alpha"] == 2.0
+        assert str(report) == text
+
+
+class TestHarnessesOnQuickStudy:
+    @pytest.mark.parametrize("harness", ALL_HARNESSES, ids=lambda m: m.__name__)
+    def test_run_produces_report(self, harness, study):
+        report = harness.run(study)
+        assert report.rows
+        text = report.render()
+        assert report.experiment_id in text
+
+    def test_figure1_shape(self, study):
+        assert figure1.shape_holds(study)
+
+    def test_figure3_shape(self, study):
+        assert figure3.shape_holds(study)
+
+    def test_table1_shape(self, study):
+        assert table1.shape_holds(study)
+
+    def test_alternate_routes_shape(self, study):
+        assert alternate_routes.shape_holds(study)
+
+    def test_table2_without_active_raises(self, study):
+        from dataclasses import replace
+
+        stripped = replace(study, magnet_table=None)
+        with pytest.raises(ValueError):
+            table2.run(stripped)
+
+    def test_poisoning_without_active_raises(self, study):
+        from dataclasses import replace
+
+        stripped = replace(study, discovery=None)
+        with pytest.raises(ValueError):
+            poisoning_dataset.run(stripped)

@@ -1,0 +1,67 @@
+"""Tests for scenario caching and the CLI study command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.scenario import quick_study
+
+
+class TestScenarioCaching:
+    def test_quick_study_memoized(self):
+        assert quick_study() is quick_study()
+
+    def test_different_seed_different_instance(self, study):
+        other = quick_study(seed=1)
+        assert other is not study
+        assert other.config.seed == 1
+
+
+class TestCLIStudy:
+    def test_small_study_single_experiment(self, capsys):
+        assert main(["study", "--small", "--seed", "3", "--experiment", "figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "paper=" in output and "measured=" in output
+
+    def test_markdown_output(self, tmp_path, capsys):
+        out = tmp_path / "EXP.md"
+        assert (
+            main(
+                [
+                    "study",
+                    "--small",
+                    "--seed",
+                    "3",
+                    "--experiment",
+                    "figure1",
+                    "--markdown",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "| metric | paper | measured |" in text
+        assert "Shape check" in text
+
+    def test_figures_output(self, tmp_path):
+        figures_dir = tmp_path / "figs"
+        assert (
+            main(
+                [
+                    "study",
+                    "--small",
+                    "--seed",
+                    "3",
+                    "--experiment",
+                    "figure1",
+                    "--figures",
+                    str(figures_dir),
+                ]
+            )
+            == 0
+        )
+        for name in ("figure1.txt", "figure2.txt", "figure3.txt"):
+            content = (figures_dir / name).read_text()
+            assert content.strip()

@@ -1,0 +1,99 @@
+"""Property-based validation of the BGP simulator on random topologies.
+
+Under pure Gao-Rexford policies over random acyclic-hierarchy graphs:
+the simulator must converge, its data-plane paths must be valley-free,
+and its route lengths must match the analytical engine — for *every*
+generated topology, not just the crafted ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import BGPSimulator
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+
+PFX = Prefix.parse("198.51.100.0/24")
+
+rel_strategy = st.sampled_from(
+    [Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER]
+)
+
+
+@st.composite
+def hierarchy_graphs(draw):
+    """Random graphs whose customer-provider hierarchy is acyclic."""
+    num_ases = draw(st.integers(min_value=2, max_value=14))
+    asns = list(range(1, num_ases + 1))
+    graph = ASGraph()
+    for asn in asns:
+        graph.ensure_asn(asn)
+    num_links = draw(st.integers(min_value=1, max_value=28))
+    for _ in range(num_links):
+        a = draw(st.sampled_from(asns))
+        b = draw(st.sampled_from(asns))
+        if a == b:
+            continue
+        rel = draw(rel_strategy)
+        if rel is Relationship.PEER:
+            graph.add_link(a, b, Relationship.PEER)
+        else:
+            # Lower ASN is always the provider: acyclic hierarchy.
+            graph.add_link(min(a, b), max(a, b), Relationship.CUSTOMER)
+    return graph
+
+
+class TestSimulatorProperties:
+    @given(hierarchy_graphs(), st.integers(min_value=1, max_value=14))
+    @settings(max_examples=120, deadline=None)
+    def test_sim_matches_engine_on_random_graphs(self, graph, destination):
+        if destination not in graph:
+            return
+        simulator = BGPSimulator(graph)
+        simulator.originate(destination, PFX)  # must converge
+        info = GaoRexfordEngine(graph).routing_info(destination)
+        dump = simulator.rib_dump(PFX)
+        assert set(dump) == {
+            asn for asn in graph.asns() if info.has_route(asn)
+        } | {destination}
+        for asn, route in dump.items():
+            if asn == destination:
+                continue
+            assert route.path_length() == info.gr_route_length(asn)
+
+    @given(hierarchy_graphs(), st.integers(min_value=1, max_value=14))
+    @settings(max_examples=120, deadline=None)
+    def test_forwarding_paths_valley_free(self, graph, destination):
+        if destination not in graph:
+            return
+        simulator = BGPSimulator(graph)
+        simulator.originate(destination, PFX)
+        for asn in graph.asns():
+            path = simulator.forwarding_path(asn, PFX)
+            if path is None:
+                continue
+            assert path[-1] == destination
+            went_down = False
+            peer_edges = 0
+            for left, right in zip(path[:-1], path[1:]):
+                rel = graph.relationship(left, right)
+                assert rel is not None
+                if rel is Relationship.PEER:
+                    peer_edges += 1
+                    went_down = True
+                elif rel is Relationship.CUSTOMER:
+                    went_down = True
+                else:
+                    assert not went_down, f"valley in {path}"
+            assert peer_edges <= 1
+
+    @given(hierarchy_graphs(), st.integers(min_value=1, max_value=14))
+    @settings(max_examples=60, deadline=None)
+    def test_withdraw_restores_empty_state(self, graph, destination):
+        if destination not in graph:
+            return
+        simulator = BGPSimulator(graph)
+        simulator.originate(destination, PFX)
+        simulator.withdraw(destination, PFX)
+        assert simulator.rib_dump(PFX) == {}

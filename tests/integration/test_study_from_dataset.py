@@ -1,0 +1,32 @@
+"""Running a study over a serialized, reloaded dataset."""
+
+from repro.core.classification import DecisionLabel
+from repro.core.pipeline import FIGURE1_LAYERS, Study, StudyConfig
+from repro.topogen import generate_internet, load_internet, save_internet
+from repro.topogen.config import small_config
+
+
+def _study_config():
+    return StudyConfig(
+        topology=small_config(),
+        seed=33,
+        num_probes=200,
+        probes_per_continent=10,
+        active_experiments=False,
+    )
+
+
+def test_study_over_reloaded_internet_matches_generated(tmp_path):
+    """The same study over a saved-and-reloaded dataset reproduces the
+    exact decision breakdown of the freshly generated one."""
+    internet = generate_internet(small_config(), seed=33)
+    path = tmp_path / "dataset.json"
+    save_internet(internet, path)
+
+    fresh = Study(_study_config(), internet=generate_internet(small_config(), seed=33)).run()
+    reloaded = Study(_study_config(), internet=load_internet(path)).run()
+
+    assert len(fresh.decisions) == len(reloaded.decisions)
+    for layer in FIGURE1_LAYERS:
+        assert fresh.figure1[layer].counts == reloaded.figure1[layer].counts
+    assert fresh.figure1["Simple"].percent(DecisionLabel.BEST_SHORT) > 0

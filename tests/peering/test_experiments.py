@@ -1,0 +1,111 @@
+"""Tests for the active experiment drivers (discovery and magnet)."""
+
+import pytest
+
+from repro.bgp import BGPSimulator
+from repro.peering import (
+    FeedArchive,
+    PeeringTestbed,
+    RouteCollector,
+    discover_alternate_routes,
+    run_magnet_experiments,
+)
+from repro.topogen import generate_internet
+from repro.topogen.config import small_config
+
+
+@pytest.fixture(scope="module")
+def world():
+    internet = generate_internet(small_config(), seed=31)
+    testbed = PeeringTestbed(internet, num_muxes=4, seed=31)
+    simulator = BGPSimulator(
+        internet.graph, policies=internet.policies, country_of=internet.country_of
+    )
+    return internet, testbed, simulator
+
+
+class TestDiscovery:
+    def test_discovers_multiple_routes_for_transit(self, world):
+        internet, testbed, sim = world
+        # Transit ASes with several neighbors have alternate routes.
+        targets = [
+            asn for asn in internet.graph.asns() if internet.graph.degree(asn) >= 5
+        ][:5]
+        result = discover_alternate_routes(testbed, sim, targets)
+        assert len(result.observations) == len(targets)
+        multi = [o for o in result.observations if len(o.routes) >= 2]
+        assert multi, "no target revealed alternate routes"
+        for observation in multi:
+            # Next hops are distinct across rounds (each got poisoned).
+            next_hops = [route.next_hop for route in observation.routes]
+            assert len(next_hops) == len(set(next_hops))
+
+    def test_discovery_order_is_preference_order(self, world):
+        internet, testbed, sim = world
+        targets = [
+            asn for asn in internet.graph.asns() if internet.graph.degree(asn) >= 5
+        ][:3]
+        result = discover_alternate_routes(testbed, sim, targets)
+        for observation in result.observations:
+            # First discovered route must match the unpoisoned best.
+            testbed.announce(sim, testbed.prefixes[0])
+            route = sim.best_route(observation.target, testbed.prefixes[0])
+            if route is not None and observation.routes:
+                assert observation.routes[0].next_hop == route.learned_from
+
+    def test_announcement_accounting(self, world):
+        internet, testbed, sim = world
+        targets = [
+            asn for asn in internet.graph.asns() if internet.graph.degree(asn) >= 5
+        ][:4]
+        result = discover_alternate_routes(testbed, sim, targets)
+        rounds = sum(len(o.poison_rounds) for o in result.observations)
+        # Distinct announcements <= rounds + 1 (the shared anycast).
+        assert result.distinct_announcements <= rounds + 1
+        assert result.distinct_announcements >= 1
+
+    def test_observed_links_present(self, world):
+        internet, testbed, sim = world
+        vps = internet.eyeball_asns[:10]
+        targets = [
+            asn for asn in internet.graph.asns() if internet.graph.degree(asn) >= 5
+        ][:3]
+        result = discover_alternate_routes(
+            testbed, sim, targets, monitor_asns=vps
+        )
+        assert result.observed_links
+        assert result.poisoned_only_links <= result.observed_links
+
+
+class TestMagnet:
+    def test_rounds_per_mux(self, world):
+        internet, testbed, sim = world
+        feeds = FeedArchive([RouteCollector(name="rv", peer_asns=tuple(internet.graph.asns())[:20])])
+        observations = run_magnet_experiments(
+            testbed, sim, feeds, vp_asns=internet.eyeball_asns[:10]
+        )
+        assert len(observations) == len(testbed.muxes)
+        for observation in observations:
+            assert observation.magnet_mux in testbed.mux_asns()
+            assert observation.anycast_routes
+            # Anycast reaches at least as many ASes as the magnet phase.
+            assert len(observation.anycast_routes) >= len(observation.magnet_routes)
+
+    def test_magnet_phase_restricted_to_one_mux(self, world):
+        internet, testbed, sim = world
+        feeds = FeedArchive([])
+        observations = run_magnet_experiments(testbed, sim, feeds)
+        for observation in observations:
+            # During the magnet phase, every routed path ends at the
+            # magnet mux host before PEERING.
+            for asn, view in observation.magnet_routes.items():
+                path = view.path
+                assert path[-1] == testbed.asn
+                if len(path) >= 2:
+                    assert path[-2] == observation.magnet_mux
+
+    def test_truth_steps_recorded(self, world):
+        internet, testbed, sim = world
+        feeds = FeedArchive([])
+        observations = run_magnet_experiments(testbed, sim, feeds)
+        assert any(observation.truth_decision_steps for observation in observations)

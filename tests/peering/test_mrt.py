@@ -1,0 +1,79 @@
+"""Tests for the MRT-style feed dump format."""
+
+import io
+
+import pytest
+
+from repro.bgp import BGPSimulator
+from repro.net.ip import Prefix
+from repro.peering import FeedArchive, RouteCollector
+from repro.peering.mrt import dump_feed, dump_feed_lines, load_feed, parse_feed_lines
+from repro.topology import ASGraph, Relationship
+
+P1 = Prefix.parse("198.51.100.0/24")
+P2 = Prefix.parse("203.0.113.0/24")
+
+
+@pytest.fixture
+def feeds():
+    graph = ASGraph()
+    graph.add_link(1, 2, Relationship.CUSTOMER)
+    graph.add_link(2, 3, Relationship.CUSTOMER)
+    sim = BGPSimulator(graph)
+    sim.originate(3, P1)
+    sim.originate(3, P2)
+    archive = FeedArchive([RouteCollector(name="rv", peer_asns=(1, 2))])
+    archive.record(sim, [P1, P2])
+    return archive
+
+
+class TestDump:
+    def test_line_format(self, feeds):
+        lines = dump_feed_lines(feeds, timestamp=1234)
+        assert lines
+        for line in lines:
+            fields = line.split("|")
+            assert fields[0] == "TABLE_DUMP2"
+            assert fields[1] == "1234"
+            assert fields[6].split()[0] == fields[4]
+
+    def test_roundtrip_via_stream(self, feeds):
+        text = dump_feed(feeds)
+        reloaded = load_feed(io.StringIO(text))
+        assert reloaded.prefixes() == feeds.prefixes()
+        for prefix in feeds.prefixes():
+            assert reloaded.paths_for(prefix) == feeds.paths_for(prefix)
+
+    def test_roundtrip_via_file(self, feeds, tmp_path):
+        path = tmp_path / "rib.txt"
+        dump_feed(feeds, path)
+        reloaded = load_feed(path)
+        assert reloaded.paths_for(P1) == feeds.paths_for(P1)
+
+    def test_reloaded_archive_answers_psp_queries(self, feeds):
+        reloaded = load_feed(io.StringIO(dump_feed(feeds)))
+        assert reloaded.origin_edge_observed(P1, 2, 3)
+        assert reloaded.any_prefix_via_edge(2, 3)
+
+    def test_empty_archive(self):
+        assert dump_feed(FeedArchive([])) == ""
+
+
+class TestParse:
+    def test_rejects_wrong_record_type(self):
+        with pytest.raises(ValueError):
+            parse_feed_lines(["TABLE_DUMP|0|B|0.0.0.0|1|10.0.0.0/8|1 2|IGP"])
+
+    def test_rejects_bad_as_path(self):
+        with pytest.raises(ValueError):
+            parse_feed_lines(["TABLE_DUMP2|0|B|0.0.0.0|1|10.0.0.0/8|one two|IGP"])
+
+    def test_rejects_peer_mismatch(self):
+        with pytest.raises(ValueError):
+            parse_feed_lines(["TABLE_DUMP2|0|B|0.0.0.0|9|10.0.0.0/8|1 2|IGP"])
+
+    def test_skips_comments_and_blanks(self):
+        records = parse_feed_lines(
+            ["# header", "", "TABLE_DUMP2|0|B|0.0.0.0|1|10.0.0.0/8|1 2|IGP"]
+        )
+        assert records == [(Prefix.parse("10.0.0.0/8"), (1, 2))]

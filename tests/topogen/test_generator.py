@@ -1,0 +1,161 @@
+"""Structural invariants of the synthetic Internet generator."""
+
+import pytest
+
+from repro.topogen import generate_internet
+from repro.topogen.config import TopologyConfig, small_config
+from repro.topology.asys import ASRole
+from repro.topology.relationships import Relationship
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return generate_internet(small_config(), seed=123)
+
+
+class TestPopulations:
+    def test_all_roles_present(self, internet):
+        roles = {asys.role for asys in internet.graph.ases()}
+        assert ASRole.TRANSIT in roles
+        assert ASRole.EYEBALL in roles
+        assert ASRole.CABLE in roles
+        assert roles & {ASRole.CONTENT, ASRole.CDN}
+
+    def test_tier1_clique(self, internet):
+        tier1s = [
+            asn
+            for asn in internet.graph.asns()
+            if not internet.graph.providers(asn)
+            and not internet.graph.siblings(asn)
+            and len(internet.graph.customer_cone(asn)) > 10
+            and internet.graph.get_as(asn).role is not ASRole.CABLE
+        ]
+        assert len(tier1s) >= 2
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1:]:
+                assert internet.graph.relationship(a, b) is Relationship.PEER
+
+    def test_every_as_has_metadata(self, internet):
+        for asn in internet.graph.asns():
+            assert asn in internet.home_city
+            assert internet.presence_cities[asn]
+            assert internet.whois.get(asn) is not None
+            asys = internet.graph.get_as(asn)
+            assert asys.country in asys.presence
+
+    def test_customer_provider_hierarchy_is_acyclic(self, internet):
+        """No AS can be in its own customer cone via someone else."""
+        for asn in internet.graph.asns():
+            cone = internet.graph.customer_cone(asn)
+            for provider in internet.graph.providers(asn):
+                assert provider not in cone or provider == asn
+
+    def test_sibling_groups_share_org(self, internet):
+        for a, b, rel in internet.graph.links():
+            if rel is Relationship.SIBLING:
+                assert (
+                    internet.graph.get_as(a).org_id
+                    == internet.graph.get_as(b).org_id
+                )
+
+
+class TestAddressing:
+    def test_prefixes_are_disjoint(self, internet):
+        all_prefixes = [
+            prefix for plist in internet.prefixes.values() for prefix in plist
+        ]
+        for i, a in enumerate(all_prefixes):
+            for b in all_prefixes[i + 1:]:
+                assert not a.covers(b) and not b.covers(a), (a, b)
+
+    def test_every_as_originates_prefixes(self, internet):
+        for asn in internet.graph.asns():
+            assert internet.prefixes[asn], f"AS{asn} has no prefixes"
+
+    def test_interconnect_per_link(self, internet):
+        for a, b, _rel in internet.graph.links():
+            interconnect = internet.interconnect(a, b)
+            assert interconnect is not None
+            assert interconnect.ip_of(a) != interconnect.ip_of(b)
+            assert interconnect.subnet.contains(interconnect.ip_of(a))
+            assert interconnect.subnet.contains(interconnect.ip_of(b))
+
+    def test_interconnect_owner_is_endpoint_and_owns_subnet(self, internet):
+        trie = internet.origin_trie()
+        for interconnect in internet.interconnects.values():
+            assert interconnect.owner in (interconnect.a, interconnect.b)
+            mapped = trie.lookup(interconnect.subnet.first_address())
+            assert mapped == interconnect.owner
+
+    def test_interconnect_ip_of_rejects_stranger(self, internet):
+        interconnect = next(iter(internet.interconnects.values()))
+        with pytest.raises(ValueError):
+            interconnect.ip_of(999999)
+
+    def test_router_ips_located(self, internet):
+        for (asn, city_name), ip in internet.router_ips.items():
+            city = internet.ip_locations[ip.value]
+            assert city.name == city_name
+
+
+class TestContent:
+    def test_replicas_resolve_to_prefix_owner(self, internet):
+        trie = internet.origin_trie()
+        for provider in internet.content:
+            for replica in provider.all_replicas():
+                assert trie.lookup(replica.ip) == replica.asn
+
+    def test_cdns_have_offnet_replicas(self, internet):
+        cdn_providers = [
+            p
+            for p in internet.content
+            if internet.graph.get_as(p.asns[0]).role is ASRole.CDN
+        ]
+        assert cdn_providers
+        for provider in cdn_providers:
+            hosts = {replica.asn for replica in provider.all_replicas()}
+            assert hosts - set(provider.asns), "CDN lacks off-net caches"
+
+    def test_dns_names_have_replicas(self, internet):
+        for provider in internet.content:
+            for dns_name in provider.dns_names:
+                assert provider.replicas.get(dns_name)
+
+
+class TestPolicyInjection:
+    def test_deviations_present(self, internet):
+        policies = internet.policies.values()
+        assert any(p.selective_export for p in policies)
+        assert any(p.prefix_local_pref for p in policies)
+        assert any(p.neighbor_local_pref for p in policies)
+        assert any(p.prefers_domestic for p in policies)
+        assert any(p.export_prepend for p in policies)
+        assert any(p.partial_transit_to for p in policies)
+
+    def test_selective_export_never_empty_neighbor_set(self, internet):
+        for asn, policy in internet.policies.items():
+            for prefix, allowed in policy.selective_export.items():
+                assert allowed, f"AS{asn} exports {prefix} to nobody"
+                assert allowed <= set(internet.graph.neighbors(asn))
+
+    def test_cable_registry_matches_roles(self, internet):
+        for asn in internet.cables.cable_asns():
+            assert internet.graph.get_as(asn).role is ASRole.CABLE
+
+
+class TestDeterminism:
+    def test_same_seed_same_internet(self):
+        a = generate_internet(small_config(), seed=5)
+        b = generate_internet(small_config(), seed=5)
+        assert set(a.graph.asns()) == set(b.graph.asns())
+        assert list(a.graph.links()) == list(b.graph.links())
+        assert a.prefixes == b.prefixes
+
+    def test_different_seed_different_wiring(self):
+        a = generate_internet(small_config(), seed=5)
+        b = generate_internet(small_config(), seed=6)
+        assert list(a.graph.links()) != list(b.graph.links())
+
+    def test_validation_runs_on_generate(self):
+        with pytest.raises(ValueError):
+            generate_internet(TopologyConfig(num_tier1=0), seed=0)

@@ -1,0 +1,106 @@
+"""Tests for the relationship-inference error model."""
+
+import pytest
+
+from repro.topogen import generate_internet, infer_topology, inferred_snapshots
+from repro.topogen.config import small_config
+from repro.topogen.inference import InferenceConfig
+from repro.topology.relationships import Relationship
+from repro.topology.serial import link_set
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return generate_internet(small_config(), seed=321)
+
+
+class TestInferTopology:
+    def test_no_sibling_labels_in_inference(self, internet):
+        inferred, _complex = infer_topology(internet, seed=1)
+        for _a, _b, rel in inferred.links():
+            assert rel is not Relationship.SIBLING
+
+    def test_stale_links_injected(self, internet):
+        config = InferenceConfig(stale_link_count=5)
+        inferred, _complex = infer_topology(internet, config, seed=1)
+        truth_pairs = {
+            (min(a, b), max(a, b)) for a, b, _rel in internet.graph.links()
+        }
+        inferred_pairs = {
+            (min(a, b), max(a, b)) for a, b, _rel in inferred.links()
+        }
+        assert len(inferred_pairs - truth_pairs) >= 5
+
+    def test_no_stale_links_when_disabled(self, internet):
+        config = InferenceConfig(stale_link_count=0)
+        inferred, _complex = infer_topology(internet, config, seed=1)
+        truth_pairs = {
+            (min(a, b), max(a, b)) for a, b, _rel in internet.graph.links()
+        }
+        inferred_pairs = {
+            (min(a, b), max(a, b)) for a, b, _rel in inferred.links()
+        }
+        assert not (inferred_pairs - truth_pairs)
+
+    def test_edge_peering_missed(self, internet):
+        config = InferenceConfig(miss_peer_edge_rate=1.0, miss_peer_core_rate=0.0)
+        inferred, _complex = infer_topology(internet, config, seed=1)
+        # Every stub-stub peering must be gone.
+        for a, b, rel in internet.graph.links():
+            if rel is not Relationship.PEER:
+                continue
+            a_edge = not internet.graph.customers(a) or internet.graph.degree(a) <= 4
+            b_edge = not internet.graph.customers(b) or internet.graph.degree(b) <= 4
+            if a_edge and b_edge:
+                assert not inferred.has_link(a, b)
+
+    def test_perfect_inference_without_errors(self, internet):
+        config = InferenceConfig(
+            miss_peer_edge_rate=0.0,
+            miss_peer_core_rate=0.0,
+            mislabel_c2p_rate=0.0,
+            reverse_c2p_rate=0.0,
+            mislabel_p2p_rate=0.0,
+            cable_mislabel_rate=0.0,
+            hybrid_wrong_label_rate=0.0,
+            stale_link_count=0,
+            sibling_as_c2p_rate=1.0,
+        )
+        inferred, _complex = infer_topology(internet, config, seed=1)
+        for a, b, rel in internet.graph.links():
+            if rel is Relationship.SIBLING:
+                continue  # sibling class does not exist in inference
+            assert inferred.relationship(a, b) is rel
+
+    def test_complex_dataset_subset_of_truth(self, internet):
+        _inferred, known = infer_topology(internet, seed=1)
+        truth = internet.complex_truth
+        for entry in known.partial_transit_entries():
+            assert truth.partial_transit(entry.provider, entry.customer) is not None
+        for a, b in known.hybrid_pairs():
+            assert truth.has_hybrid(a, b)
+
+    def test_deterministic(self, internet):
+        a, _ = infer_topology(internet, seed=9)
+        b, _ = infer_topology(internet, seed=9)
+        assert link_set(a) == link_set(b)
+
+
+class TestSnapshots:
+    def test_count_and_churn(self, internet):
+        config = InferenceConfig(num_snapshots=4, snapshot_churn=0.2)
+        snapshots, _known = inferred_snapshots(internet, config, seed=2)
+        assert len(snapshots) == 4
+        sets = [link_set(s) for s in snapshots]
+        assert any(sets[0] != other for other in sets[1:])
+
+    def test_zero_churn_means_identical_months(self, internet):
+        config = InferenceConfig(num_snapshots=3, snapshot_churn=0.0)
+        snapshots, _known = inferred_snapshots(internet, config, seed=2)
+        sets = [link_set(s) for s in snapshots]
+        assert sets[0] == sets[1] == sets[2]
+
+    def test_snapshots_preserve_as_metadata(self, internet):
+        snapshots, _known = inferred_snapshots(internet, seed=2)
+        some_asn = next(iter(internet.graph.asns()))
+        assert snapshots[0].get_as(some_asn).name == internet.graph.get_as(some_asn).name

@@ -1,0 +1,111 @@
+"""Tests for Internet JSON serialization."""
+
+import pytest
+
+from repro.bgp import BGPSimulator
+from repro.topogen import generate_internet
+from repro.topogen.config import small_config
+from repro.topogen.serialization import (
+    internet_from_dict,
+    internet_to_dict,
+    load_internet,
+    save_internet,
+)
+from repro.topology.serial import link_set
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return generate_internet(small_config(), seed=101)
+
+
+@pytest.fixture(scope="module")
+def reloaded(internet, tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "internet.json"
+    save_internet(internet, path)
+    return load_internet(path)
+
+
+class TestRoundtrip:
+    def test_graph_identical(self, internet, reloaded):
+        assert link_set(reloaded.graph) == link_set(internet.graph)
+        for asn in internet.graph.asns():
+            assert reloaded.graph.get_as(asn) == internet.graph.get_as(asn)
+
+    def test_policies_identical(self, internet, reloaded):
+        assert set(reloaded.policies) == set(internet.policies)
+        for asn, policy in internet.policies.items():
+            assert reloaded.policies[asn] == policy
+
+    def test_prefixes_and_interconnects(self, internet, reloaded):
+        assert reloaded.prefixes == internet.prefixes
+        assert set(reloaded.interconnects) == set(internet.interconnects)
+        for key, interconnect in internet.interconnects.items():
+            assert reloaded.interconnects[key] == interconnect
+
+    def test_router_and_location_data(self, internet, reloaded):
+        assert reloaded.router_ips == internet.router_ips
+        assert reloaded.ip_locations == internet.ip_locations
+        assert reloaded.home_city == internet.home_city
+        assert reloaded.presence_cities == internet.presence_cities
+
+    def test_registries(self, internet, reloaded):
+        for record in internet.whois:
+            assert reloaded.whois.get(record.asn) == record
+        assert list(reloaded.soa.records()) == list(internet.soa.records())
+        assert reloaded.orgs == internet.orgs
+        assert reloaded.cables.cable_asns() == internet.cables.cable_asns()
+
+    def test_complex_relationships(self, internet, reloaded):
+        assert (
+            reloaded.complex_truth.hybrid_entries()
+            == internet.complex_truth.hybrid_entries()
+        )
+        assert (
+            reloaded.complex_truth.partial_transit_entries()
+            == internet.complex_truth.partial_transit_entries()
+        )
+
+    def test_content(self, internet, reloaded):
+        assert len(reloaded.content) == len(internet.content)
+        for original, parsed in zip(internet.content, reloaded.content):
+            assert parsed.name == original.name
+            assert parsed.asns == original.asns
+            assert parsed.replicas == original.replicas
+
+    def test_eyeballs_preserve_order(self, internet, reloaded):
+        assert reloaded.eyeball_asns == internet.eyeball_asns
+
+
+class TestFunctionalEquivalence:
+    def test_routing_identical_after_reload(self, internet, reloaded):
+        """BGP convergence on the reloaded Internet matches the original."""
+        origin = internet.content[0].asns[0]
+        prefix = internet.prefixes[origin][-1]
+        paths = []
+        for world in (internet, reloaded):
+            sim = BGPSimulator(
+                world.graph, policies=world.policies, country_of=world.country_of
+            )
+            sim.originate(origin, prefix)
+            paths.append(
+                {
+                    asn: sim.forwarding_path(asn, prefix)
+                    for asn in sorted(world.graph.asns())[:100]
+                }
+            )
+        assert paths[0] == paths[1]
+
+
+class TestErrors:
+    def test_version_check(self, internet):
+        data = internet_to_dict(internet)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            internet_from_dict(data)
+
+    def test_unknown_city_rejected(self, internet):
+        data = internet_to_dict(internet)
+        data["home_city"][next(iter(data["home_city"]))] = "Atlantis"
+        with pytest.raises(ValueError):
+            internet_from_dict(data)

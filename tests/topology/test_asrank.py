@@ -1,0 +1,112 @@
+"""Tests for customer cones and AS ranking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import ASGraph, Relationship
+from repro.topology.asrank import as_rank, cone_sizes, customer_cones, transit_degree
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+class TestCustomerCones:
+    def test_basic_hierarchy(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+            (2, 4, Relationship.CUSTOMER),
+        )
+        cones = customer_cones(graph)
+        assert cones[1] == frozenset({1, 2, 3, 4})
+        assert cones[2] == frozenset({2, 3, 4})
+        assert cones[3] == frozenset({3})
+
+    def test_peers_not_in_cone(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.PEER),
+        )
+        cones = customer_cones(graph)
+        assert 3 not in cones[1]
+
+    def test_shared_customers_counted_once(self):
+        graph = _graph(
+            (1, 3, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+        )
+        cones = customer_cones(graph)
+        assert cones[1] == frozenset({1, 3})
+        assert cones[2] == frozenset({2, 3})
+
+    def test_cycle_terminates(self):
+        """A corrupted c2p cycle must not loop forever."""
+        graph = ASGraph()
+        graph.add_link(1, 2, Relationship.CUSTOMER)
+        graph.add_link(2, 3, Relationship.CUSTOMER)
+        graph.add_link(3, 1, Relationship.CUSTOMER)
+        cones = customer_cones(graph)
+        assert set(cones) == {1, 2, 3}
+        for asn in (1, 2, 3):
+            assert asn in cones[asn]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=12),
+                st.integers(min_value=1, max_value=12),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_per_as_walk(self, pairs):
+        """The one-pass computation equals the per-AS BFS on DAGs."""
+        graph = ASGraph()
+        for a, b in pairs:
+            if a == b:
+                continue
+            graph.add_link(min(a, b), max(a, b), Relationship.CUSTOMER)
+        if not len(graph):
+            return
+        cones = customer_cones(graph)
+        for asn in graph.asns():
+            assert cones[asn] == graph.customer_cone(asn)
+
+
+class TestRanking:
+    def test_rank_order(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+        )
+        rows = as_rank(graph)
+        assert rows[0] == (1, 1, 3)
+        assert rows[1] == (2, 2, 2)
+        assert rows[2] == (3, 3, 1)
+
+    def test_tie_broken_by_asn(self):
+        graph = _graph(
+            (5, 6, Relationship.CUSTOMER),
+            (7, 8, Relationship.CUSTOMER),
+        )
+        rows = as_rank(graph)
+        assert [row[1] for row in rows[:2]] == [5, 7]
+
+    def test_cone_sizes(self):
+        graph = _graph((1, 2, Relationship.CUSTOMER))
+        assert cone_sizes(graph) == {1: 2, 2: 1}
+
+    def test_transit_degree(self):
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+            (2, 4, Relationship.PEER),
+        )
+        assert transit_degree(graph, 2) == 2  # provider 1 + customer 3
+        assert transit_degree(graph, 4) == 0

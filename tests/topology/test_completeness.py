@@ -1,0 +1,99 @@
+"""Tests for topology-completeness analysis."""
+
+import pytest
+
+from repro.topogen import generate_internet, infer_topology
+from repro.topogen.config import small_config
+from repro.topogen.inference import InferenceConfig
+from repro.topology import ASGraph, Relationship
+from repro.topology.completeness import completeness
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+class TestCompletenessBasics:
+    def test_perfect_inference(self):
+        truth = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.PEER),
+        )
+        report = completeness(truth, truth)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.label_accuracy == 1.0
+        assert report.spurious_links == 0
+
+    def test_missing_link_lowers_recall(self):
+        truth = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (2, 3, Relationship.PEER),
+        )
+        inferred = _graph((1, 2, Relationship.CUSTOMER))
+        report = completeness(truth, inferred)
+        assert report.recall == pytest.approx(0.5)
+        assert report.precision == 1.0
+
+    def test_mislabeled_link_lowers_label_accuracy(self):
+        truth = _graph((1, 2, Relationship.CUSTOMER))
+        inferred = _graph((1, 2, Relationship.PEER))
+        report = completeness(truth, inferred)
+        assert report.recall == 1.0
+        assert report.label_accuracy == 0.0
+
+    def test_reversed_c2p_is_mislabel(self):
+        truth = _graph((1, 2, Relationship.CUSTOMER))
+        inferred = _graph((2, 1, Relationship.CUSTOMER))
+        report = completeness(truth, inferred)
+        assert report.label_accuracy == 0.0
+
+    def test_spurious_link_lowers_precision(self):
+        truth = _graph((1, 2, Relationship.CUSTOMER))
+        inferred = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (1, 3, Relationship.PEER),
+        )
+        report = completeness(truth, inferred)
+        assert report.spurious_links == 1
+        assert report.precision == pytest.approx(0.5)
+
+    def test_empty_graphs(self):
+        report = completeness(ASGraph(), ASGraph())
+        assert report.recall == 0.0
+        assert report.precision == 0.0
+
+
+class TestCompletenessOnGeneratedInternet:
+    def test_edge_peering_recall_below_core(self):
+        """The generated inference must reproduce the paper's premise:
+        edge peering is far less visible than the core."""
+        internet = generate_internet(small_config(), seed=8)
+        inferred, _complex = infer_topology(internet, seed=8)
+        report = completeness(internet.graph, inferred)
+        assert 0.0 < report.recall < 1.0
+        assert report.edge_peering_recall < report.core_recall
+        # Stale links make the inference imprecise too.
+        assert report.spurious_links > 0
+
+    def test_error_free_inference_scores_high(self):
+        internet = generate_internet(small_config(), seed=8)
+        config = InferenceConfig(
+            miss_peer_edge_rate=0.0,
+            miss_peer_core_rate=0.0,
+            mislabel_c2p_rate=0.0,
+            reverse_c2p_rate=0.0,
+            mislabel_p2p_rate=0.0,
+            cable_mislabel_rate=0.0,
+            hybrid_wrong_label_rate=0.0,
+            stale_link_count=0,
+        )
+        inferred, _complex = infer_topology(internet, config, seed=8)
+        report = completeness(internet.graph, inferred)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        # Sibling links can never be labeled correctly by inference.
+        assert report.label_accuracy < 1.0

@@ -1,0 +1,118 @@
+"""Tests for whois records, SOA canonicalization and sibling inference."""
+
+import pytest
+
+from repro.whois import (
+    SOADatabase,
+    SiblingGroups,
+    WhoisRecord,
+    WhoisRegistry,
+    infer_siblings,
+)
+
+
+def _registry(*records):
+    registry = WhoisRegistry()
+    for record in records:
+        registry.add(record)
+    return registry
+
+
+class TestWhoisRecord:
+    def test_email_domain(self):
+        record = WhoisRecord(asn=1, email="noc@Example.COM")
+        assert record.email_domain() == "example.com"
+
+    def test_email_domain_missing(self):
+        assert WhoisRecord(asn=1, email="").email_domain() is None
+        assert WhoisRecord(asn=1, email="no-at-sign").email_domain() is None
+
+    def test_registry_country_of(self):
+        registry = _registry(WhoisRecord(asn=1, country="US"))
+        assert registry.country_of(1) == "US"
+        assert registry.country_of(2) is None
+        registry.add(WhoisRecord(asn=3, country=""))
+        assert registry.country_of(3) is None
+
+
+class TestSOADatabase:
+    def test_canonicalize_follows_chain(self):
+        soa = SOADatabase([("dish.com", "dishnetwork.com"), ("dishaccess.tv", "dishnetwork.com")])
+        assert soa.canonicalize("dish.com") == "dishnetwork.com"
+        assert soa.canonicalize("DISHACCESS.TV") == "dishnetwork.com"
+
+    def test_canonicalize_unknown_is_identity(self):
+        soa = SOADatabase()
+        assert soa.canonicalize("example.com") == "example.com"
+
+    def test_canonicalize_breaks_loops(self):
+        soa = SOADatabase([("a.com", "b.com"), ("b.com", "a.com")])
+        # Must terminate; either element of the loop is acceptable.
+        assert soa.canonicalize("a.com") in {"a.com", "b.com"}
+
+
+class TestSiblingGroups:
+    def test_membership(self):
+        groups = SiblingGroups([frozenset({1, 2, 3})])
+        assert groups.are_siblings(1, 2)
+        assert groups.are_siblings(3, 1)
+        assert not groups.are_siblings(1, 1)
+        assert not groups.are_siblings(1, 4)
+        assert groups.group_of(2) == frozenset({1, 2, 3})
+        assert groups.group_of(9) is None
+        assert 1 in groups and 9 not in groups
+
+    def test_rejects_singleton_group(self):
+        with pytest.raises(ValueError):
+            SiblingGroups([frozenset({1})])
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError):
+            SiblingGroups([frozenset({1, 2}), frozenset({2, 3})])
+
+
+class TestInferSiblings:
+    def test_groups_by_email_domain(self):
+        registry = _registry(
+            WhoisRecord(asn=701, email="noc@verizon.com"),
+            WhoisRecord(asn=702, email="peering@verizon.com"),
+            WhoisRecord(asn=703, email="ops@verizon.com"),
+            WhoisRecord(asn=100, email="noc@other.net"),
+        )
+        groups = infer_siblings(registry)
+        assert groups.are_siblings(701, 702)
+        assert groups.are_siblings(701, 703)
+        assert not groups.are_siblings(701, 100)
+        assert 100 not in groups  # singleton domain dropped
+
+    def test_soa_merges_vanity_domains(self):
+        registry = _registry(
+            WhoisRecord(asn=1, email="noc@dish.com"),
+            WhoisRecord(asn=2, email="noc@dishaccess.tv"),
+        )
+        soa = SOADatabase(
+            [("dish.com", "dishnetwork.com"), ("dishaccess.tv", "dishnetwork.com")]
+        )
+        assert infer_siblings(registry, soa).are_siblings(1, 2)
+        # Without SOA data the two domains stay separate.
+        assert not infer_siblings(registry).are_siblings(1, 2)
+
+    def test_public_hosters_filtered(self):
+        registry = _registry(
+            WhoisRecord(asn=1, email="a@hotmail.com"),
+            WhoisRecord(asn=2, email="b@hotmail.com"),
+            WhoisRecord(asn=3, email="c@ripe.net"),
+            WhoisRecord(asn=4, email="d@ripe.net"),
+        )
+        groups = infer_siblings(registry)
+        assert len(groups) == 0
+
+    def test_records_without_email_ignored(self):
+        registry = _registry(
+            WhoisRecord(asn=1, email=""),
+            WhoisRecord(asn=2, email="x@org.com"),
+            WhoisRecord(asn=3, email="y@org.com"),
+        )
+        groups = infer_siblings(registry)
+        assert groups.are_siblings(2, 3)
+        assert 1 not in groups
