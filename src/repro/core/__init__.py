@@ -9,13 +9,17 @@ geography, undersea cables), and reverse-engineer BGP decision steps
 from active measurements.
 """
 
-from repro.core.gao_rexford import GaoRexfordEngine, RoutingInfo
+from repro.core.gao_rexford import CacheStats, GaoRexfordEngine, RoutingCache, RoutingInfo
 from repro.core.classification import (
     Decision,
     DecisionLabel,
+    GroupedDecisions,
     LabelCounts,
     classify_decision,
     classify_decisions,
+    classify_decisions_serial,
+    label_decisions,
+    label_decisions_serial,
 )
 from repro.core.psp import PrefixPolicyAnalysis, PSPCase
 from repro.core.skew import ViolationSkew, compute_skew
@@ -39,13 +43,19 @@ from repro.core.case_studies import CaseStudy, build_case_studies
 from repro.core.pipeline import Study, StudyConfig, StudyResults
 
 __all__ = [
+    "CacheStats",
     "GaoRexfordEngine",
+    "RoutingCache",
     "RoutingInfo",
     "Decision",
     "DecisionLabel",
+    "GroupedDecisions",
     "LabelCounts",
     "classify_decision",
     "classify_decisions",
+    "classify_decisions_serial",
+    "label_decisions",
+    "label_decisions_serial",
     "PrefixPolicyAnalysis",
     "PSPCase",
     "ViolationSkew",

@@ -23,8 +23,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.gao_rexford import GaoRexfordEngine, RoutingInfo
 from repro.net.ip import Prefix
+from repro.topology.graph import ASGraph
 from repro.topology.complex_rel import ComplexRelationships
 from repro.topology.relationships import Relationship
 from repro.whois.siblings import SiblingGroups
@@ -163,18 +164,18 @@ def classify_decision(
     return DecisionLabel.from_properties(best, short)
 
 
-def classify_decisions(
+def classify_decisions_serial(
     decisions: Iterable[Decision],
     engine: GaoRexfordEngine,
     first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
     complex_rel: Optional[ComplexRelationships] = None,
     siblings: Optional[SiblingGroups] = None,
 ) -> LabelCounts:
-    """Classify a batch of decisions into a :class:`LabelCounts`.
+    """Per-decision reference implementation of :func:`classify_decisions`.
 
-    ``first_hops_for`` maps a prefix to the allowed first-hop set the
-    PSP criteria computed for it; prefixes absent from the map are
-    unrestricted.
+    Grades every decision independently through
+    :func:`classify_decision`.  Kept as the equivalence baseline the
+    batched path is tested (and benchmarked) against.
     """
     counts = LabelCounts()
     for decision in decisions:
@@ -193,14 +194,14 @@ def classify_decisions(
     return counts
 
 
-def label_decisions(
+def label_decisions_serial(
     decisions: Iterable[Decision],
     engine: GaoRexfordEngine,
     first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
     complex_rel: Optional[ComplexRelationships] = None,
     siblings: Optional[SiblingGroups] = None,
 ) -> List[Tuple[Decision, DecisionLabel]]:
-    """Like :func:`classify_decisions` but keeps per-decision labels."""
+    """Per-decision reference implementation of :func:`label_decisions`."""
     labeled = []
     for decision in decisions:
         allowed = None
@@ -219,3 +220,211 @@ def label_decisions(
             )
         )
     return labeled
+
+
+# ---------------------------------------------------------------------------
+# Batched grading
+# ---------------------------------------------------------------------------
+
+#: Everything about a decision that grading reads besides the routing
+#: tree it is graded against: the decision maker, its next hop, the
+#: measured length and the interconnect city (hybrid relationships).
+GradeKey = Tuple[int, int, int, Optional[str]]
+
+#: Which routing tree grades a decision: (destination, allowed first hops).
+TreeKey = Tuple[int, Optional[FrozenSet[int]]]
+
+
+@dataclass
+class LayerConfig:
+    """Grading configuration of one refinement layer (Figure 1)."""
+
+    engine: GaoRexfordEngine
+    first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None
+    complex_rel: Optional[ComplexRelationships] = None
+    siblings: Optional[SiblingGroups] = None
+
+
+def _grade_key(decision: Decision) -> GradeKey:
+    return (
+        decision.asn,
+        decision.next_hop,
+        decision.measured_len,
+        decision.border_city,
+    )
+
+
+class GroupedDecisions:
+    """Decisions grouped by routing tree, duplicates collapsed.
+
+    Measured paths repeat the same adjacency toward the same destination
+    many times (every traceroute crossing a popular transit link yields
+    an identical decision), so grading each *unique* decision once and
+    fanning the label back out cuts the grading work by the duplication
+    factor.  One grouping is reusable across refinement layers that
+    share the same ``first_hops_for`` map — the grade memo is per layer,
+    the grouping is not.
+    """
+
+    def __init__(
+        self,
+        decisions: Iterable[Decision],
+        first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
+    ) -> None:
+        self.decisions: List[Decision] = (
+            decisions if isinstance(decisions, list) else list(decisions)
+        )
+        #: tree key -> grade key -> indices into ``decisions``.
+        self.groups: Dict[TreeKey, Dict[GradeKey, List[int]]] = {}
+        groups = self.groups
+        if first_hops_for is None:
+            for index, decision in enumerate(self.decisions):
+                tree_key = (decision.destination, None)
+                by_grade = groups.get(tree_key)
+                if by_grade is None:
+                    by_grade = groups[tree_key] = {}
+                by_grade.setdefault(_grade_key(decision), []).append(index)
+        else:
+            for index, decision in enumerate(self.decisions):
+                tree_key = (
+                    decision.destination,
+                    first_hops_for.get(decision.prefix),
+                )
+                by_grade = groups.get(tree_key)
+                if by_grade is None:
+                    by_grade = groups[tree_key] = {}
+                by_grade.setdefault(_grade_key(decision), []).append(index)
+
+    def tree_keys(self) -> List[TreeKey]:
+        return list(self.groups)
+
+    def unique_count(self) -> int:
+        return sum(len(by_grade) for by_grade in self.groups.values())
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+
+def _grade_unique(
+    decision: Decision,
+    info: RoutingInfo,
+    graph: ASGraph,
+    complex_rel: Optional[ComplexRelationships],
+    siblings: Optional[SiblingGroups],
+    node_state: Dict[int, Tuple[Optional[Relationship], Optional[int]]],
+) -> DecisionLabel:
+    """Grade one unique decision against a precomputed routing tree.
+
+    Semantically identical to :func:`classify_decision`; ``node_state``
+    memoizes the per-AS model facts (best class, model route length)
+    shared by every decision the same AS makes within one tree.
+    """
+    asn = decision.asn
+    state = node_state.get(asn)
+    if state is None:
+        state = (info.best_class(asn), info.gr_route_length(asn))
+        node_state[asn] = state
+    best_class, model_len = state
+    if siblings is not None and siblings.are_siblings(asn, decision.next_hop):
+        best = True
+    else:
+        relationship = graph.relationship(asn, decision.next_hop)
+        if complex_rel is not None:
+            hybrid = complex_rel.hybrid_relationship(
+                asn, decision.next_hop, decision.border_city
+            )
+            if hybrid is not None:
+                relationship = hybrid
+        if relationship is None:
+            best = False
+        elif best_class is None:
+            best = True
+        else:
+            best = relationship.rank() <= best_class.rank()
+    short = model_len is None or decision.measured_len <= model_len
+    return DecisionLabel.from_properties(best, short)
+
+
+def classify_grouped(
+    grouped: GroupedDecisions,
+    engine: GaoRexfordEngine,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> LabelCounts:
+    """Tally labels for pre-grouped decisions (one tree per group)."""
+    counts = LabelCounts()
+    add = counts.add
+    decisions = grouped.decisions
+    graph = engine.graph
+    for (destination, allowed), by_grade in grouped.groups.items():
+        info = engine.routing_info(destination, allowed)
+        node_state: Dict[int, Tuple[Optional[Relationship], Optional[int]]] = {}
+        for indices in by_grade.values():
+            label = _grade_unique(
+                decisions[indices[0]], info, graph, complex_rel, siblings, node_state
+            )
+            add(label, len(indices))
+    return counts
+
+
+def label_grouped(
+    grouped: GroupedDecisions,
+    engine: GaoRexfordEngine,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> List[Tuple[Decision, DecisionLabel]]:
+    """Per-decision labels for pre-grouped decisions, in input order."""
+    decisions = grouped.decisions
+    graph = engine.graph
+    labels: List[Optional[DecisionLabel]] = [None] * len(decisions)
+    for (destination, allowed), by_grade in grouped.groups.items():
+        info = engine.routing_info(destination, allowed)
+        node_state: Dict[int, Tuple[Optional[Relationship], Optional[int]]] = {}
+        for indices in by_grade.values():
+            label = _grade_unique(
+                decisions[indices[0]], info, graph, complex_rel, siblings, node_state
+            )
+            for index in indices:
+                labels[index] = label
+    return list(zip(decisions, labels))
+
+
+def classify_decisions(
+    decisions: Iterable[Decision],
+    engine: GaoRexfordEngine,
+    first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> LabelCounts:
+    """Classify a batch of decisions into a :class:`LabelCounts`.
+
+    ``first_hops_for`` maps a prefix to the allowed first-hop set the
+    PSP criteria computed for it; prefixes absent from the map are
+    unrestricted.
+
+    Decisions are grouped by the routing tree that grades them, each
+    tree is fetched once, and duplicate decisions are graded once —
+    results are identical to :func:`classify_decisions_serial`.
+    """
+    return classify_grouped(
+        GroupedDecisions(decisions, first_hops_for),
+        engine,
+        complex_rel=complex_rel,
+        siblings=siblings,
+    )
+
+
+def label_decisions(
+    decisions: Iterable[Decision],
+    engine: GaoRexfordEngine,
+    first_hops_for: Optional[Dict[Prefix, FrozenSet[int]]] = None,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> List[Tuple[Decision, DecisionLabel]]:
+    """Like :func:`classify_decisions` but keeps per-decision labels."""
+    return label_grouped(
+        GroupedDecisions(decisions, first_hops_for),
+        engine,
+        complex_rel=complex_rel,
+        siblings=siblings,
+    )

@@ -25,7 +25,7 @@ sibling decisions as "Best".
 from __future__ import annotations
 
 import heapq
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -33,6 +33,97 @@ from repro.topology.graph import ASGraph
 from repro.topology.relationships import Relationship
 
 _INF = float("inf")
+
+#: Default bound on the per-engine routing-tree cache.  Far above what
+#: one study needs (a few hundred trees) but keeps long-lived engines
+#: serving many destinations from growing without limit.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Cache key: (destination, allowed first hops or None).
+CacheKey = Tuple[int, Optional[FrozenSet[int]]]
+
+
+@dataclass
+class CacheStats:
+    """Snapshot of a :class:`RoutingCache`'s counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return 0.0 if total == 0 else self.hits / total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class RoutingCache:
+    """Bounded LRU cache of :class:`RoutingInfo` with hit/miss counters.
+
+    Least-recently-used entries are evicted once ``maxsize`` is
+    exceeded; every lookup refreshes recency.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[CacheKey, RoutingInfo]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._data
+
+    def get(self, key: CacheKey) -> Optional[RoutingInfo]:
+        info = self._data.get(key)
+        if info is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return info
+
+    def put(self, key: CacheKey, info: RoutingInfo) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = info
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
 
 
 @dataclass
@@ -130,10 +221,30 @@ class GaoRexfordEngine:
         self,
         graph: ASGraph,
         partial_transit: FrozenSet[Tuple[int, int]] = frozenset(),
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        canonical_keys: bool = True,
     ) -> None:
         self.graph = graph
         self.partial_transit = frozenset(partial_transit)
-        self._cache: Dict[Tuple[int, Optional[FrozenSet[int]]], RoutingInfo] = {}
+        self.canonical_keys = canonical_keys
+        self._cache = RoutingCache(maxsize=cache_size)
+
+    def cache_key(self, destination: int, allowed: Optional[FrozenSet[int]]) -> CacheKey:
+        """Canonical cache key for a routing tree.
+
+        An allowed-first-hop set covering every neighbor of the
+        destination restricts nothing, so it shares the unrestricted
+        tree — PSP layers whose feeds saw every edge then reuse the
+        plain tree instead of computing an identical one.
+        """
+        if (
+            self.canonical_keys
+            and allowed is not None
+            and destination in self.graph
+            and allowed.issuperset(self.graph.neighbor_set(destination))
+        ):
+            return (destination, None)
+        return (destination, allowed)
 
     def routing_info(
         self,
@@ -147,13 +258,26 @@ class GaoRexfordEngine:
         prefix-specific-policy criteria pull (Section 4.3).  ``None``
         means every neighbor does.
         """
-        key = (destination, allowed_first_hops)
+        key = self.cache_key(destination, allowed_first_hops)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        info = self._compute(destination, allowed_first_hops)
-        self._cache[key] = info
+        info = self._compute(key[0], key[1])
+        self._cache.put(key, info)
         return info
+
+    def warm(
+        self,
+        destination: int,
+        allowed_first_hops: Optional[FrozenSet[int]],
+        info: RoutingInfo,
+    ) -> None:
+        """Install a precomputed routing tree (parallel precompute)."""
+        self._cache.put(self.cache_key(destination, allowed_first_hops), info)
+
+    def cache_stats(self) -> CacheStats:
+        """Counters of the routing-tree cache."""
+        return self._cache.stats()
 
     # ------------------------------------------------------------------
     # Computation
@@ -170,21 +294,25 @@ class GaoRexfordEngine:
         if destination not in graph:
             raise KeyError(f"AS{destination} not in topology")
         info = RoutingInfo(destination=destination)
+        # Each stage walks one relationship class of edges; the index
+        # pre-partitions them (in neighbor-map order, so traversal and
+        # parent tie-breaking match filtering the full map in place).
+        adjacency = graph.routing_adjacency()
+        empty: Tuple[int, ...] = ()
 
         # Stage 1: customer routes propagate up provider and sibling
         # links.  An AS x has a customer route when some customer (or
         # sibling) of x has one.
         customer = info.customer_dist
         customer[destination] = 0
+        up = adjacency.up
         queue = deque([destination])
         while queue:
             current = queue.popleft()
             dist = customer[current]
-            for neighbor, rel in graph.neighbors(current).items():
+            for neighbor in up.get(current, empty):
                 # The route travels current -> neighbor where neighbor
                 # is current's provider (or sibling).
-                if rel not in (Relationship.PROVIDER, Relationship.SIBLING):
-                    continue
                 if current == destination and not self._first_hop_ok(neighbor, allowed):
                     continue
                 if neighbor not in customer:
@@ -195,10 +323,9 @@ class GaoRexfordEngine:
         # Stage 2: peer routes: one peer edge on top of a neighbor's
         # *chosen customer* route (peers only export customer routes).
         peer = info.peer_dist
+        peer_adj = adjacency.peers
         for asn, dist in list(customer.items()):
-            for neighbor, rel in graph.neighbors(asn).items():
-                if rel is not Relationship.PEER:
-                    continue
+            for neighbor in peer_adj.get(asn, empty):
                 if asn == destination and not self._first_hop_ok(neighbor, allowed):
                     continue
                 candidate = dist + 1
@@ -212,6 +339,7 @@ class GaoRexfordEngine:
         # its (recursively computed) provider distance.  Unit weights
         # make Dijkstra exact here.
         provider = info.provider_dist
+        down = adjacency.down
 
         def chosen_fixed(asn: int) -> Optional[int]:
             if asn in customer:
@@ -231,12 +359,10 @@ class GaoRexfordEngine:
             if current in settled:
                 continue
             settled.add(current)
-            for neighbor, rel in graph.neighbors(current).items():
+            for neighbor in down.get(current, empty):
                 # Route travels current -> neighbor where neighbor is a
                 # customer of current (the neighbor learns from its
                 # provider).
-                if rel is not Relationship.CUSTOMER:
-                    continue
                 if current == destination and not self._first_hop_ok(neighbor, allowed):
                     continue
                 # Partial transit: this provider does not hand its own

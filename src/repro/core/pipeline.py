@@ -29,8 +29,7 @@ from repro.core.classification import (
     Decision,
     DecisionLabel,
     LabelCounts,
-    classify_decisions,
-    label_decisions,
+    LayerConfig,
 )
 from repro.core.gao_rexford import GaoRexfordEngine
 from repro.core.geography import (
@@ -54,18 +53,54 @@ from repro.peering.experiments import (
     run_magnet_experiments,
 )
 from repro.peering.testbed import PeeringTestbed
+from repro.perf.timing import StageTimer
 from repro.topogen.config import TopologyConfig
 from repro.topogen.generator import generate_internet
 from repro.topogen.inference import InferenceConfig, inferred_snapshots
 from repro.topogen.internet import Internet
 from repro.topology.aggregate import aggregate_snapshots
 from repro.topology.classify_as import classify_all
+from repro.topology.complex_rel import ComplexRelationships
 from repro.topology.asys import ASType
 from repro.topology.graph import ASGraph
 from repro.whois.siblings import SiblingGroups, infer_siblings
 
 #: Figure 1's layer names, in presentation order.
 FIGURE1_LAYERS = ("Simple", "Complex", "Sibs", "PSP-1", "PSP-2", "All-1", "All-2")
+
+
+def figure1_layer_configs(
+    engine_simple: GaoRexfordEngine,
+    engine_complex: GaoRexfordEngine,
+    known_complex: Optional[ComplexRelationships],
+    siblings: Optional[SiblingGroups],
+    first_hops_1: Dict[Prefix, FrozenSet[int]],
+    first_hops_2: Dict[Prefix, FrozenSet[int]],
+) -> Dict[str, LayerConfig]:
+    """The seven Figure-1 refinement layers as grading configurations.
+
+    Shared by the study pipeline and the benchmark suite so both grade
+    exactly the same layer definitions.
+    """
+    return {
+        "Simple": LayerConfig(engine=engine_simple),
+        "Complex": LayerConfig(engine=engine_complex, complex_rel=known_complex),
+        "Sibs": LayerConfig(engine=engine_simple, siblings=siblings),
+        "PSP-1": LayerConfig(engine=engine_simple, first_hops_for=first_hops_1),
+        "PSP-2": LayerConfig(engine=engine_simple, first_hops_for=first_hops_2),
+        "All-1": LayerConfig(
+            engine=engine_complex,
+            first_hops_for=first_hops_1,
+            complex_rel=known_complex,
+            siblings=siblings,
+        ),
+        "All-2": LayerConfig(
+            engine=engine_complex,
+            first_hops_for=first_hops_2,
+            complex_rel=known_complex,
+            siblings=siblings,
+        ),
+    }
 
 
 @dataclass
@@ -123,6 +158,8 @@ class StudyResults:
     probe_table: List[ProbeTableRow]
     #: Reusable build artifacts for benchmarks and ablations.
     engine: Optional[GaoRexfordEngine] = None
+    engine_complex: Optional[GaoRexfordEngine] = None
+    known_complex: Optional[ComplexRelationships] = None
     geo: Optional[GeoDatabase] = None
     feeds: Optional[FeedArchive] = None
     snapshots: List[ASGraph] = field(default_factory=list)
@@ -133,6 +170,8 @@ class StudyResults:
     discovery: Optional[DiscoveryResult] = None
     magnet_table: Optional[MagnetDecisionTable] = None
     magnet_observations: List = field(default_factory=list)
+    #: Wall-clock seconds per pipeline stage (see repro.perf.timing).
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
 
 class Study:
@@ -159,127 +198,138 @@ class Study:
             return self._results
         config = self.config
         seed = config.seed
+        timer = StageTimer()
 
         # Stage 1: the world and what inference sees of it.
-        internet = self._internet or generate_internet(config.topology, seed=seed)
-        snapshots, known_complex = inferred_snapshots(
-            internet, config.inference, seed=seed + 1
-        )
-        inferred = aggregate_snapshots(snapshots)
-        siblings = infer_siblings(internet.whois, internet.soa)
+        with timer.stage("topology"):
+            internet = self._internet or generate_internet(config.topology, seed=seed)
+            snapshots, known_complex = inferred_snapshots(
+                internet, config.inference, seed=seed + 1
+            )
+            inferred = aggregate_snapshots(snapshots)
+            siblings = infer_siblings(internet.whois, internet.soa)
 
         # Stage 2: testbed install (before the simulator is built, so
         # PEERING's links exist in the speakers' world).
         testbed = None
         if config.active_experiments:
-            testbed = PeeringTestbed(
-                internet, num_muxes=config.num_muxes, seed=seed + 2
-            )
+            with timer.stage("testbed"):
+                testbed = PeeringTestbed(
+                    internet, num_muxes=config.num_muxes, seed=seed + 2
+                )
 
         # Stage 3: probes and the passive campaign.
-        probes = generate_probes(internet, count=config.num_probes, seed=seed + 3)
-        selected = select_probes_balanced(
-            probes, per_continent=config.probes_per_continent, seed=seed + 4
-        )
-        dataset = run_campaign(
-            internet,
-            selected,
-            CampaignConfig(seed=seed + 5, missing_hop_rate=config.missing_hop_rate),
-        )
-
-        # Stage 4: control-plane visibility.
-        feeds = FeedArchive(default_collectors(internet, seed=seed + 6))
-        all_prefixes = [
-            prefix
-            for prefixes in dataset.destination_prefixes.values()
-            for prefix in prefixes
-        ]
-        feeds.record(dataset.simulator, all_prefixes)
-
-        # Stage 5: measurement-pipeline datasets.
-        mapper = IPToASMapper.from_prefix_map(internet.prefixes)
-        geo = GeoDatabase.from_internet(
-            internet,
-            error_rate=config.geo_error_rate,
-            miss_rate=config.geo_miss_rate,
-            seed=seed + 7,
-        )
-
-        # Stage 6: decisions from traceroutes.
-        per_measurement = self._extract_decisions(dataset, mapper, geo)
-        decisions = [
-            decision for _m, _path, group in per_measurement for decision in group
-        ]
-
-        # Stage 7: classification layers (Figure 1).
-        engine_simple = GaoRexfordEngine(inferred)
-        partial = frozenset(
-            (entry.provider, entry.customer)
-            for entry in known_complex.partial_transit_entries()
-        )
-        engine_complex = GaoRexfordEngine(inferred, partial_transit=partial)
-        origins: Dict[Prefix, int] = {}
-        for asn, prefixes in dataset.destination_prefixes.items():
-            for prefix in prefixes:
-                origins[prefix] = asn
-        psp = PrefixPolicyAnalysis(inferred, feeds)
-        first_hops_1 = psp.first_hops_map(origins, criterion=1)
-        first_hops_2 = psp.first_hops_map(origins, criterion=2)
-
-        figure1 = {
-            "Simple": classify_decisions(decisions, engine_simple),
-            "Complex": classify_decisions(
-                decisions, engine_complex, complex_rel=known_complex
-            ),
-            "Sibs": classify_decisions(decisions, engine_simple, siblings=siblings),
-            "PSP-1": classify_decisions(
-                decisions, engine_simple, first_hops_for=first_hops_1
-            ),
-            "PSP-2": classify_decisions(
-                decisions, engine_simple, first_hops_for=first_hops_2
-            ),
-            "All-1": classify_decisions(
-                decisions,
-                engine_complex,
-                first_hops_for=first_hops_1,
-                complex_rel=known_complex,
-                siblings=siblings,
-            ),
-            "All-2": classify_decisions(
-                decisions,
-                engine_complex,
-                first_hops_for=first_hops_2,
-                complex_rel=known_complex,
-                siblings=siblings,
-            ),
-        }
-
-        labeled_simple = label_decisions(decisions, engine_simple)
-        label_of = {id(d): label for d, label in labeled_simple}
-        traces: List[LabeledTrace] = []
-        for measurement, _path, group in per_measurement:
-            if not group:
-                continue
-            traces.append(
-                LabeledTrace(
-                    decisions=[(d, label_of[id(d)]) for d in group],
-                    hop_ips=measurement.traceroute.responding_ips(),
-                    source_continent=measurement.probe.continent,
-                )
+        with timer.stage("campaign"):
+            probes = generate_probes(internet, count=config.num_probes, seed=seed + 3)
+            selected = select_probes_balanced(
+                probes, per_continent=config.probes_per_continent, seed=seed + 4
+            )
+            dataset = run_campaign(
+                internet,
+                selected,
+                CampaignConfig(seed=seed + 5, missing_hop_rate=config.missing_hop_rate),
             )
 
+        # Stage 4: control-plane visibility.
+        with timer.stage("feeds"):
+            feeds = FeedArchive(default_collectors(internet, seed=seed + 6))
+            all_prefixes = [
+                prefix
+                for prefixes in dataset.destination_prefixes.values()
+                for prefix in prefixes
+            ]
+            feeds.record(dataset.simulator, all_prefixes)
+
+        # Stage 5: measurement-pipeline datasets.
+        with timer.stage("ipmap"):
+            mapper = IPToASMapper.from_prefix_map(internet.prefixes)
+            geo = GeoDatabase.from_internet(
+                internet,
+                error_rate=config.geo_error_rate,
+                miss_rate=config.geo_miss_rate,
+                seed=seed + 7,
+            )
+
+        # Stage 6: decisions from traceroutes.
+        with timer.stage("extract_decisions"):
+            per_measurement = self._extract_decisions(dataset, mapper, geo)
+            decisions = [
+                decision for _m, _path, group in per_measurement for decision in group
+            ]
+
+        # Stage 7: classification layers (Figure 1).  Routing trees for
+        # all seven layers are precomputed through the parallel
+        # classifier (process pool above the size threshold, serial
+        # otherwise), then each layer grades against warm caches.
+        with timer.stage("psp"):
+            engine_simple = GaoRexfordEngine(inferred)
+            partial = frozenset(
+                (entry.provider, entry.customer)
+                for entry in known_complex.partial_transit_entries()
+            )
+            engine_complex = GaoRexfordEngine(inferred, partial_transit=partial)
+            origins: Dict[Prefix, int] = {}
+            for asn, prefixes in dataset.destination_prefixes.items():
+                for prefix in prefixes:
+                    origins[prefix] = asn
+            psp = PrefixPolicyAnalysis(inferred, feeds)
+            first_hops_1 = psp.first_hops_map(origins, criterion=1)
+            first_hops_2 = psp.first_hops_map(origins, criterion=2)
+
+        with timer.stage("figure1"):
+            # Imported lazily: repro.perf.parallel itself imports from
+            # repro.core, so a module-level import here would cycle.
+            from repro.perf.parallel import ParallelClassifier
+
+            classifier = ParallelClassifier()
+            layer_configs = figure1_layer_configs(
+                engine_simple,
+                engine_complex,
+                known_complex=known_complex,
+                siblings=siblings,
+                first_hops_1=first_hops_1,
+                first_hops_2=first_hops_2,
+            )
+            figure1 = classifier.classify_layers(decisions, layer_configs)
+
+        with timer.stage("label_decisions"):
+            labeled_simple = classifier.label_layer(
+                decisions, layer_configs["Simple"]
+            )
+            # Labels are keyed by the decision's value (Decision is a
+            # frozen dataclass): equal decisions grade identically, and
+            # copies made anywhere in the pipeline still resolve.
+            label_of: Dict[Decision, DecisionLabel] = dict(labeled_simple)
+            traces: List[LabeledTrace] = []
+            for measurement, _path, group in per_measurement:
+                if not group:
+                    continue
+                traces.append(
+                    LabeledTrace(
+                        decisions=[(d, label_of[d]) for d in group],
+                        hop_ips=measurement.traceroute.responding_ips(),
+                        source_continent=measurement.probe.continent,
+                    )
+                )
+
         # Stage 8: skew, geography, validation.
-        skew = compute_skew(labeled_simple)
-        geography = GeographyAnalysis(geo, internet.whois, internet.cables, engine_simple)
-        continental = geography.continental_breakdown(traces)
-        domestic = geography.domestic_rows(traces)
-        cable_summary = geography.cable_summary(traces)
-        psp_cases_1 = psp.cases(origins, criterion=1)
-        psp_cases_2 = psp.cases(origins, criterion=2)
-        looking_glasses = LookingGlassDeployment(
-            dataset.simulator, deployment_rate=config.lg_deployment_rate, seed=seed + 8
-        )
-        psp_validation = validate_psp_cases(psp_cases_1, looking_glasses)
+        with timer.stage("skew_geography"):
+            skew = compute_skew(labeled_simple)
+            geography = GeographyAnalysis(
+                geo, internet.whois, internet.cables, engine_simple
+            )
+            continental = geography.continental_breakdown(traces)
+            domestic = geography.domestic_rows(traces)
+            cable_summary = geography.cable_summary(traces)
+        with timer.stage("psp_validation"):
+            psp_cases_1 = psp.cases(origins, criterion=1)
+            psp_cases_2 = psp.cases(origins, criterion=2)
+            looking_glasses = LookingGlassDeployment(
+                dataset.simulator,
+                deployment_rate=config.lg_deployment_rate,
+                seed=seed + 8,
+            )
+            psp_validation = validate_psp_cases(psp_cases_1, looking_glasses)
 
         probe_table = self._probe_table(selected, inferred)
 
@@ -304,6 +354,8 @@ class Study:
             psp_validation=psp_validation,
             probe_table=probe_table,
             engine=engine_simple,
+            engine_complex=engine_complex,
+            known_complex=known_complex,
             geo=geo,
             feeds=feeds,
             snapshots=snapshots,
@@ -314,8 +366,10 @@ class Study:
 
         # Stage 9: active experiments (Table 2, Section 4.4).
         if testbed is not None:
-            self._run_active(results, testbed, probes, inferred, internet, seed)
+            with timer.stage("active_experiments"):
+                self._run_active(results, testbed, probes, inferred, internet, seed)
 
+        results.stage_timings = timer.as_dict()
         self._results = results
         return results
 

@@ -37,12 +37,35 @@ class PSPCase:
     criterion: int
 
 
+class FrozenSetInterner:
+    """Canonicalizes equal frozensets to one shared instance.
+
+    Different prefixes of the same origin usually resolve to the same
+    allowed-first-hop set; interning makes those prefixes share one
+    object, so downstream caches keyed by the set (the routing-tree
+    cache above all) hash an already-seen instance instead of carrying
+    thousands of equal-but-distinct copies.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+    def intern(self, values: FrozenSet[int]) -> FrozenSet[int]:
+        return self._pool.setdefault(values, values)
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
 class PrefixPolicyAnalysis:
     """Applies the PSP criteria to feeds over an inferred topology."""
 
     def __init__(self, graph: ASGraph, feeds: FeedArchive) -> None:
         self._graph = graph
         self._feeds = feeds
+        #: Shared across criteria so Criterion-1 and Criterion-2 maps
+        #: intern against the same pool.
+        self._interner = FrozenSetInterner()
 
     def allowed_first_hops(
         self, prefix: Prefix, origin: int, criterion: int
@@ -67,7 +90,7 @@ class PrefixPolicyAnalysis:
                 # Edge never visible in feeds: assume poor visibility,
                 # not selective announcement.
                 allowed.add(neighbor)
-        return frozenset(allowed)
+        return self._interner.intern(frozenset(allowed))
 
     def first_hops_map(
         self, origins: Dict[Prefix, int], criterion: int

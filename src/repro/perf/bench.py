@@ -1,0 +1,244 @@
+"""Pipeline benchmark entry point (``python -m repro.perf.bench``).
+
+Measures the full seven-layer Figure-1 classification two ways over the
+same study — the seed's per-decision reference path and the batched +
+precomputed path — and writes the trajectory to ``BENCH_pipeline.json``
+together with the study's per-stage wall times and routing-cache
+counters.  The benchmark suite reuses these helpers so the reported
+speedup and the CI-asserted speedup are the same measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.classification import LabelCounts, classify_decisions_serial
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.core.pipeline import FIGURE1_LAYERS, StudyResults, figure1_layer_configs
+from repro.perf.parallel import ParallelClassifier, PrecomputeReport, worker_count
+
+DEFAULT_BENCH_PATH = "BENCH_pipeline.json"
+
+
+def _fresh_engines(
+    study: StudyResults, canonical_keys: bool
+) -> Tuple[GaoRexfordEngine, GaoRexfordEngine]:
+    """Cold engines over the study topology, as ``Study.run`` builds them.
+
+    ``canonical_keys=False`` reproduces the seed engine's cache
+    behavior, so the serial leg measures the pre-optimization pipeline.
+    """
+    if study.engine_complex is None:
+        raise ValueError("study results carry no complex engine")
+    partial = study.engine_complex.partial_transit
+    simple = GaoRexfordEngine(study.inferred, canonical_keys=canonical_keys)
+    complex_ = GaoRexfordEngine(
+        study.inferred, partial_transit=partial, canonical_keys=canonical_keys
+    )
+    return simple, complex_
+
+
+def _layer_configs(study, engine_simple, engine_complex):
+    return figure1_layer_configs(
+        engine_simple,
+        engine_complex,
+        known_complex=study.known_complex,
+        siblings=study.siblings,
+        first_hops_1=study.first_hops_1,
+        first_hops_2=study.first_hops_2,
+    )
+
+
+def seven_layer_serial(study: StudyResults) -> Tuple[float, Dict[str, LabelCounts]]:
+    """Time the seed reference path: per-decision grading, cold engines."""
+    engine_simple, engine_complex = _fresh_engines(study, canonical_keys=False)
+    layers = _layer_configs(study, engine_simple, engine_complex)
+    start = time.perf_counter()
+    figure1 = {
+        name: classify_decisions_serial(
+            study.decisions,
+            layer.engine,
+            first_hops_for=layer.first_hops_for,
+            complex_rel=layer.complex_rel,
+            siblings=layer.siblings,
+        )
+        for name, layer in layers.items()
+    }
+    return time.perf_counter() - start, figure1
+
+
+def seven_layer_batched(
+    study: StudyResults, workers: Optional[int] = None
+) -> Tuple[float, Dict[str, LabelCounts], PrecomputeReport, Dict[str, Dict]]:
+    """Time the optimized path: precomputed trees + batched grading.
+
+    Engines start cold, so the measurement includes tree construction
+    exactly like the serial leg does.
+    """
+    engine_simple, engine_complex = _fresh_engines(study, canonical_keys=True)
+    layers = _layer_configs(study, engine_simple, engine_complex)
+    classifier = ParallelClassifier(workers=workers)
+    start = time.perf_counter()
+    figure1 = classifier.classify_layers(study.decisions, layers)
+    elapsed = time.perf_counter() - start
+    report = classifier.last_report or PrecomputeReport()
+    cache_stats = {
+        "simple": engine_simple.cache_stats().as_dict(),
+        "complex": engine_complex.cache_stats().as_dict(),
+    }
+    return elapsed, figure1, report, cache_stats
+
+
+def run_benchmark(
+    study: StudyResults,
+    workers: Optional[int] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Best-of-``repeats`` serial vs batched comparison as a JSON payload."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    serial_s = batched_s = float("inf")
+    serial_counts = batched_counts = None
+    report = None
+    cache_stats: Dict[str, Dict] = {}
+    for _ in range(repeats):
+        elapsed, serial_counts = seven_layer_serial(study)
+        serial_s = min(serial_s, elapsed)
+        elapsed, batched_counts, report, cache_stats = seven_layer_batched(
+            study, workers=workers
+        )
+        batched_s = min(batched_s, elapsed)
+    assert serial_counts is not None and batched_counts is not None
+    identical = all(
+        serial_counts[layer] == batched_counts[layer] for layer in FIGURE1_LAYERS
+    )
+    decisions = len(study.decisions)
+    graded = decisions * len(FIGURE1_LAYERS)
+    return {
+        "schema": 1,
+        "generated_by": "repro.perf.bench",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "topology": {
+            "ases": len(study.inferred),
+            "links": study.inferred.num_links(),
+        },
+        "decisions": decisions,
+        "stage_timings": dict(study.stage_timings),
+        "classification": {
+            "layers": list(FIGURE1_LAYERS),
+            "decisions_graded": graded,
+            "serial_seconds": round(serial_s, 6),
+            "batched_seconds": round(batched_s, 6),
+            "speedup": round(serial_s / batched_s, 3) if batched_s else None,
+            "serial_decisions_per_second": round(graded / serial_s, 1),
+            "batched_decisions_per_second": round(graded / batched_s, 1),
+            "workers": report.workers if report else 1,
+            "parallel": report.parallel if report else False,
+            "trees_computed": report.trees_computed if report else 0,
+            "trees_reused": report.trees_reused if report else 0,
+            "results_identical": identical,
+        },
+        "cache": cache_stats,
+    }
+
+
+def write_bench_file(
+    payload: Dict[str, object], path: str = DEFAULT_BENCH_PATH
+) -> str:
+    """Merge ``payload`` into the JSON trajectory file at ``path``.
+
+    Existing top-level keys not in ``payload`` are preserved, so the
+    CLI and individual benchmarks can each contribute their sections.
+    """
+    existing: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Benchmark the Figure-1 classification pipeline and "
+        "write BENCH_pipeline.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the small test scenario instead of the full study",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="study seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="precompute pool size (default: REPRO_WORKERS or CPU count)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repetitions per leg"
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_BENCH_PATH, help="trajectory file path"
+    )
+    args = parser.parse_args(argv)
+
+    # Fail fast on bad knobs before the (slow) study build.
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    try:
+        workers = worker_count() if args.workers is None else args.workers
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    from repro.experiments.scenario import default_study, quick_study
+
+    build_start = time.perf_counter()
+    study = (
+        quick_study(seed=args.seed) if args.quick else default_study(seed=args.seed)
+    )
+    build_seconds = time.perf_counter() - build_start
+
+    payload = run_benchmark(study, workers=workers, repeats=args.repeats)
+    payload["study_build_seconds"] = round(build_seconds, 3)
+    payload["scenario"] = "quick" if args.quick else "default"
+    path = write_bench_file(payload, args.out)
+
+    cls = payload["classification"]
+    print(f"study build: {build_seconds:.1f}s ({payload['scenario']} scenario)")
+    print(
+        f"serial seven-layer classification:  {cls['serial_seconds']:.3f}s "
+        f"({cls['serial_decisions_per_second']:.0f} decisions/s)"
+    )
+    print(
+        f"batched seven-layer classification: {cls['batched_seconds']:.3f}s "
+        f"({cls['batched_decisions_per_second']:.0f} decisions/s)"
+    )
+    print(
+        f"speedup: {cls['speedup']:.2f}x  "
+        f"(workers={cls['workers']}, parallel={cls['parallel']}, "
+        f"trees computed={cls['trees_computed']}, reused={cls['trees_reused']})"
+    )
+    print(f"results identical: {cls['results_identical']}")
+    print(f"wrote {path}")
+    return 0 if cls["results_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Parallel routing-tree precomputation for the Figure-1 layers.
+
+Classification cost is dominated by Gao-Rexford routing-tree builds:
+one tree per ``(destination, allowed-first-hops)`` pair per engine.
+The trees are independent, so :class:`ParallelClassifier` collects the
+distinct trees the layers need, computes the missing ones with a
+process pool (each worker rebuilds the engine once from a pickled
+graph payload), installs the results into the engines' caches, and then
+grades every layer against warm caches with the batched classifiers.
+
+For small inputs — or when ``REPRO_WORKERS`` (or the machine) allows
+only one worker — precomputation falls back to serial in-process
+builds; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.classification import (
+    Decision,
+    DecisionLabel,
+    GroupedDecisions,
+    LabelCounts,
+    LayerConfig,
+    TreeKey,
+    classify_grouped,
+    label_grouped,
+)
+from repro.core.gao_rexford import GaoRexfordEngine, RoutingInfo
+
+#: Environment knob for the precompute pool size.  ``0`` or ``1``
+#: forces serial; unset falls back to the CPU count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below this many missing trees the pool costs more than it saves.
+DEFAULT_MIN_PARALLEL_TREES = 24
+
+
+def worker_count(default: Optional[int] = None) -> int:
+    """Resolve the precompute worker count.
+
+    Precedence: the ``REPRO_WORKERS`` environment variable, then
+    ``default``, then the CPU count.
+    """
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is not None and raw.strip():
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        return max(0, workers)
+    if default is not None:
+        return default
+    return os.cpu_count() or 1
+
+
+@dataclass
+class PrecomputeReport:
+    """What one precompute pass did."""
+
+    trees_computed: int = 0
+    trees_reused: int = 0
+    workers: int = 1
+    parallel: bool = False
+
+    def merge(self, other: "PrecomputeReport") -> None:
+        self.trees_computed += other.trees_computed
+        self.trees_reused += other.trees_reused
+        self.workers = max(self.workers, other.workers)
+        self.parallel = self.parallel or other.parallel
+
+
+# ---------------------------------------------------------------------------
+# Pool worker plumbing (module level for picklability)
+# ---------------------------------------------------------------------------
+
+#: Per-worker state: engine specs from the initializer payload and the
+#: engines lazily built from them.
+_worker_specs: Optional[List[Tuple[object, FrozenSet[Tuple[int, int]]]]] = None
+_worker_engines: Dict[int, GaoRexfordEngine] = {}
+
+
+def _pool_init(payload: bytes) -> None:
+    global _worker_specs, _worker_engines
+    _worker_specs = pickle.loads(payload)
+    _worker_engines = {}
+
+
+def _pool_build(
+    task: Tuple[int, Sequence[TreeKey]]
+) -> Tuple[int, List[Tuple[TreeKey, RoutingInfo]]]:
+    engine_index, keys = task
+    assert _worker_specs is not None, "pool used without initializer"
+    engine = _worker_engines.get(engine_index)
+    if engine is None:
+        graph, partial = _worker_specs[engine_index]
+        engine = GaoRexfordEngine(graph, partial_transit=partial)
+        _worker_engines[engine_index] = engine
+    return engine_index, [
+        (key, engine.routing_info(key[0], key[1])) for key in keys
+    ]
+
+
+def _sortable(key: TreeKey) -> Tuple[int, int, Tuple[int, ...]]:
+    destination, allowed = key
+    if allowed is None:
+        return (destination, 0, ())
+    return (destination, 1, tuple(sorted(allowed)))
+
+
+class ParallelClassifier:
+    """Precomputes routing trees across layers, then grades in batch.
+
+    ``workers`` defaults to :func:`worker_count` (the ``REPRO_WORKERS``
+    environment variable or the CPU count); a pool is only spawned when
+    more than ``min_parallel_trees`` trees are missing and more than
+    one worker is available.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        min_parallel_trees: int = DEFAULT_MIN_PARALLEL_TREES,
+        chunk_size: int = 8,
+    ) -> None:
+        self.workers = worker_count() if workers is None else workers
+        self.min_parallel_trees = min_parallel_trees
+        self.chunk_size = max(1, chunk_size)
+        self.last_report: Optional[PrecomputeReport] = None
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def precompute(
+        self,
+        decisions: Iterable[Decision],
+        layers: Iterable[LayerConfig],
+    ) -> PrecomputeReport:
+        """Ensure every routing tree the layers need is cached."""
+        layers = list(layers)
+        decisions = decisions if isinstance(decisions, list) else list(decisions)
+        groupings = self._groupings(decisions, layers)
+        return self._precompute_grouped(
+            [(layer, groupings[index]) for index, layer in enumerate(layers)]
+        )
+
+    def _precompute_grouped(
+        self, pairs: Sequence[Tuple[LayerConfig, GroupedDecisions]]
+    ) -> PrecomputeReport:
+        # Distinct missing trees per engine (engines shared between
+        # layers are collected once).
+        engines: List[GaoRexfordEngine] = []
+        missing: List[List[TreeKey]] = []
+        reused = 0
+        seen: Dict[int, int] = {}
+        for layer, grouped in pairs:
+            engine = layer.engine
+            index = seen.get(id(engine))
+            if index is None:
+                index = seen[id(engine)] = len(engines)
+                engines.append(engine)
+                missing.append([])
+            pending = set(missing[index])
+            for key in grouped.tree_keys():
+                canonical = engine.cache_key(key[0], key[1])
+                if canonical in engine._cache or canonical in pending:
+                    reused += 1
+                    continue
+                pending.add(canonical)
+                missing[index].append(canonical)
+        total_missing = sum(len(keys) for keys in missing)
+        report = PrecomputeReport(
+            trees_computed=total_missing,
+            trees_reused=reused,
+            workers=max(1, self.workers),
+        )
+        if total_missing == 0:
+            self.last_report = report
+            return report
+        if self.workers <= 1 or total_missing < self.min_parallel_trees:
+            for engine, keys in zip(engines, missing):
+                for destination, allowed in keys:
+                    engine.routing_info(destination, allowed)
+            self.last_report = report
+            return report
+        self._precompute_pool(engines, missing)
+        report.parallel = True
+        self.last_report = report
+        return report
+
+    def _precompute_pool(
+        self, engines: Sequence[GaoRexfordEngine], missing: Sequence[List[TreeKey]]
+    ) -> None:
+        payload = pickle.dumps(
+            [(engine.graph, engine.partial_transit) for engine in engines],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tasks: List[Tuple[int, List[TreeKey]]] = []
+        for index, keys in enumerate(missing):
+            ordered = sorted(keys, key=_sortable)
+            for start in range(0, len(ordered), self.chunk_size):
+                tasks.append((index, ordered[start : start + self.chunk_size]))
+        with ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_pool_init, initargs=(payload,)
+        ) as pool:
+            for engine_index, results in pool.map(_pool_build, tasks):
+                engine = engines[engine_index]
+                for (destination, allowed), info in results:
+                    engine.warm(destination, allowed, info)
+
+    # ------------------------------------------------------------------
+    # Batched grading over warm caches
+    # ------------------------------------------------------------------
+    def classify_layers(
+        self,
+        decisions: Iterable[Decision],
+        layers: Dict[str, LayerConfig],
+    ) -> Dict[str, LabelCounts]:
+        """Grade every layer; trees are precomputed once up front.
+
+        Layers sharing a ``first_hops_for`` map share one decision
+        grouping, so the duplicate-collapsing pass runs once per
+        distinct map rather than once per layer.
+        """
+        decisions = decisions if isinstance(decisions, list) else list(decisions)
+        configs = list(layers.values())
+        groupings = self._groupings(decisions, configs)
+        self._precompute_grouped(list(zip(configs, groupings)))
+        return {
+            name: classify_grouped(
+                grouped,
+                layer.engine,
+                complex_rel=layer.complex_rel,
+                siblings=layer.siblings,
+            )
+            for (name, layer), grouped in zip(layers.items(), groupings)
+        }
+
+    def label_layer(
+        self,
+        decisions: Iterable[Decision],
+        layer: LayerConfig,
+    ) -> List[Tuple[Decision, DecisionLabel]]:
+        """Per-decision labels for one layer, via the same machinery."""
+        decisions = decisions if isinstance(decisions, list) else list(decisions)
+        grouped = GroupedDecisions(decisions, layer.first_hops_for)
+        self._precompute_grouped([(layer, grouped)])
+        return label_grouped(
+            grouped,
+            layer.engine,
+            complex_rel=layer.complex_rel,
+            siblings=layer.siblings,
+        )
+
+    def _groupings(
+        self, decisions: List[Decision], layers: Sequence[LayerConfig]
+    ) -> List[GroupedDecisions]:
+        by_map: Dict[int, GroupedDecisions] = {}
+        groupings: List[GroupedDecisions] = []
+        for layer in layers:
+            key = 0 if layer.first_hops_for is None else id(layer.first_hops_for)
+            grouped = by_map.get(key)
+            if grouped is None:
+                grouped = GroupedDecisions(decisions, layer.first_hops_for)
+                by_map[key] = grouped
+            groupings.append(grouped)
+        return groupings

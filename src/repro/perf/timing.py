@@ -1,0 +1,72 @@
+"""Per-stage wall-clock timing for the study pipeline.
+
+A :class:`StageTimer` accumulates named wall-time buckets; the study
+records one bucket per pipeline stage and stores the result on
+:class:`~repro.core.pipeline.StudyResults`, where benchmarks and the
+``repro.perf.bench`` trajectory file read it back.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class StageRecord:
+    """Accumulated wall time of one named stage."""
+
+    name: str
+    seconds: float
+    calls: int = 1
+
+
+class StageTimer:
+    """Accumulates named wall-clock buckets, preserving first-seen order.
+
+    Re-entering a stage name adds to its bucket (and bumps its call
+    count) rather than overwriting it, so per-item stages can be timed
+    in a loop.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, StageRecord] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (exceptions included)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        existing = self._records.get(name)
+        if existing is None:
+            self._records[name] = StageRecord(name=name, seconds=seconds)
+        else:
+            existing.seconds += seconds
+            existing.calls += 1
+
+    def seconds(self, name: str) -> float:
+        record = self._records.get(name)
+        return 0.0 if record is None else record.seconds
+
+    def records(self) -> List[StageRecord]:
+        return list(self._records.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage name -> seconds, in recording order (JSON-friendly)."""
+        return {name: round(rec.seconds, 6) for name, rec in self._records.items()}
+
+    def total(self) -> float:
+        return sum(record.seconds for record in self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records

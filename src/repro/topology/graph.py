@@ -14,6 +14,59 @@ from repro.topology.asys import AS
 from repro.topology.relationships import Relationship
 
 
+class AdjacencyIndex:
+    """Relationship-partitioned adjacency lists for routing computation.
+
+    The Gao-Rexford engine's three construction stages each walk one
+    relationship class of edges; pre-partitioning the adjacency into the
+    lists each stage needs avoids re-filtering (and copying) the full
+    neighbor map once per node per routing tree.  Lists preserve the
+    neighbor map's insertion order so traversals (and therefore parent
+    tie-breaking) are identical to filtering in place.
+    """
+
+    __slots__ = ("up", "peers", "down")
+
+    def __init__(
+        self,
+        up: Dict[int, Tuple[int, ...]],
+        peers: Dict[int, Tuple[int, ...]],
+        down: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        #: Neighbors that are providers or siblings of the key AS
+        #: (customer routes propagate key -> neighbor).
+        self.up = up
+        #: Neighbors that are peers of the key AS.
+        self.peers = peers
+        #: Neighbors that are customers of the key AS
+        #: (provider routes propagate key -> neighbor).
+        self.down = down
+
+    @classmethod
+    def build(cls, neighbors: Dict[int, Dict[int, Relationship]]) -> "AdjacencyIndex":
+        up: Dict[int, Tuple[int, ...]] = {}
+        peers: Dict[int, Tuple[int, ...]] = {}
+        down: Dict[int, Tuple[int, ...]] = {}
+        for asn, edges in neighbors.items():
+            up_list: List[int] = []
+            peer_list: List[int] = []
+            down_list: List[int] = []
+            for neighbor, rel in edges.items():
+                if rel is Relationship.CUSTOMER:
+                    down_list.append(neighbor)
+                elif rel is Relationship.PEER:
+                    peer_list.append(neighbor)
+                else:  # PROVIDER or SIBLING
+                    up_list.append(neighbor)
+            if up_list:
+                up[asn] = tuple(up_list)
+            if peer_list:
+                peers[asn] = tuple(peer_list)
+            if down_list:
+                down[asn] = tuple(down_list)
+        return cls(up, peers, down)
+
+
 class ASGraph:
     """Graph of ASes with relationship-annotated edges.
 
@@ -21,9 +74,16 @@ class ASGraph:
     ``relationship(a, b)`` answers "what is b to a?" in O(1).
     """
 
+    #: Class-level defaults keep instances unpickled from older
+    #: serializations working (their instance dicts lack these).
+    _version: int = 0
+    _index_cache: Optional[Tuple[int, AdjacencyIndex]] = None
+
     def __init__(self) -> None:
         self._ases: Dict[int, AS] = {}
         self._neighbors: Dict[int, Dict[int, Relationship]] = {}
+        self._version = 0
+        self._index_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -32,6 +92,7 @@ class ASGraph:
         """Register an AS; replaces any prior record for the same ASN."""
         self._ases[asys.asn] = asys
         self._neighbors.setdefault(asys.asn, {})
+        self._version += 1
 
     def ensure_asn(self, asn: int) -> None:
         """Register a bare ASN with no metadata if unseen.
@@ -55,6 +116,7 @@ class ASGraph:
         self.ensure_asn(neighbor)
         self._neighbors[asn][neighbor] = relationship
         self._neighbors[neighbor][asn] = relationship.flipped()
+        self._version += 1
 
     def remove_link(self, asn: int, neighbor: int) -> bool:
         """Remove the edge if present; returns whether it existed."""
@@ -62,6 +124,7 @@ class ASGraph:
             return False
         del self._neighbors[asn][neighbor]
         del self._neighbors[neighbor][asn]
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------
@@ -92,6 +155,24 @@ class ASGraph:
     def neighbors(self, asn: int) -> Dict[int, Relationship]:
         """Mapping neighbor ASN -> its relationship to ``asn``."""
         return dict(self._neighbors.get(asn, {}))
+
+    def neighbor_set(self, asn: int) -> Iterable[int]:
+        """The neighbor ASNs of ``asn`` without copying (read-only view)."""
+        return self._neighbors.get(asn, {}).keys()
+
+    def routing_adjacency(self) -> AdjacencyIndex:
+        """Relationship-partitioned adjacency, cached until mutation.
+
+        The cache key is an internal version counter bumped by every
+        mutator, so callers may hold the graph across edits and still
+        observe a consistent, current index.
+        """
+        cache = self._index_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        index = AdjacencyIndex.build(self._neighbors)
+        self._index_cache = (self._version, index)
+        return index
 
     def neighbors_by_class(self, asn: int, relationship: Relationship) -> List[int]:
         return [

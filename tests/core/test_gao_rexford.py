@@ -131,13 +131,28 @@ class TestFirstHopRestriction:
         assert restricted.has_route(5)
 
     def test_results_are_cached_per_restriction(self):
-        graph = _graph((1, 2, Relationship.CUSTOMER))
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (3, 2, Relationship.CUSTOMER),
+        )
         engine = GaoRexfordEngine(graph)
         a = engine.routing_info(2)
         b = engine.routing_info(2)
         c = engine.routing_info(2, allowed_first_hops=frozenset({1}))
         assert a is b
         assert c is not a
+
+    def test_full_coverage_restriction_shares_unrestricted_tree(self):
+        """An allowed set naming every neighbor restricts nothing, so it
+        canonicalizes onto the unrestricted cache entry."""
+        graph = _graph(
+            (1, 2, Relationship.CUSTOMER),
+            (3, 2, Relationship.CUSTOMER),
+        )
+        engine = GaoRexfordEngine(graph)
+        a = engine.routing_info(2)
+        d = engine.routing_info(2, allowed_first_hops=frozenset({1, 3}))
+        assert d is a
 
 
 class TestPartialTransit:

@@ -1,0 +1,196 @@
+"""Routing-cache discipline: LRU bound, counters, key canonicalization.
+
+The regression guarded here: PSP-layer classification used to grow the
+engine cache once per prefix even when prefixes shared an identical
+allowed-first-hop set, because each prefix carried its own frozenset
+object.  Interned frozensets plus value-based cache keys keep the cache
+bounded by the number of *distinct* restrictions.
+"""
+
+import pytest
+
+from repro.core.classification import Decision, classify_decisions
+from repro.core.gao_rexford import (
+    DEFAULT_CACHE_SIZE,
+    GaoRexfordEngine,
+    RoutingCache,
+)
+from repro.core.psp import FrozenSetInterner
+from repro.net.ip import Prefix
+from repro.topology import ASGraph, Relationship
+
+pytestmark = pytest.mark.tier1
+
+
+def _graph(*links):
+    graph = ASGraph()
+    for a, b, rel in links:
+        graph.add_link(a, b, rel)
+    return graph
+
+
+def _star_graph(center=9, leaves=range(1, 6)):
+    """Destination ``center`` with several provider leaves."""
+    graph = ASGraph()
+    for leaf in leaves:
+        graph.add_link(leaf, center, Relationship.CUSTOMER)
+    return graph
+
+
+class TestRoutingCache:
+    def test_lru_evicts_oldest(self):
+        cache = RoutingCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = RoutingCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" is now most recent; "b" should evict next.
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_counters(self):
+        cache = RoutingCache(maxsize=4)
+        assert cache.get("missing") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.maxsize == 4
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+
+    def test_as_dict_round_trips(self):
+        cache = RoutingCache(maxsize=3)
+        cache.put("k", "v")
+        cache.get("k")
+        payload = cache.stats().as_dict()
+        assert payload["hits"] == 1
+        assert payload["size"] == 1
+        assert payload["maxsize"] == 3
+
+    def test_clear_resets_entries_not_counters(self):
+        cache = RoutingCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert "a" not in cache
+        assert cache.stats().size == 0
+        assert cache.stats().hits == 1
+
+
+class TestEngineCacheBound:
+    def test_default_bound(self):
+        engine = GaoRexfordEngine(_graph((1, 2, Relationship.CUSTOMER)))
+        assert engine.cache_stats().maxsize == DEFAULT_CACHE_SIZE
+
+    def test_cache_never_exceeds_bound(self):
+        graph = _star_graph(center=99, leaves=range(1, 30))
+        engine = GaoRexfordEngine(graph, cache_size=8)
+        # Ask for more distinct trees than the cache can hold.
+        for destination in range(1, 30):
+            engine.routing_info(destination)
+        stats = engine.cache_stats()
+        assert stats.size <= 8
+        assert stats.evictions == 29 - 8
+
+    def test_evicted_tree_is_recomputed_consistently(self):
+        graph = _star_graph(center=99, leaves=range(1, 10))
+        engine = GaoRexfordEngine(graph, cache_size=2)
+        first = engine.routing_info(9)
+        for destination in range(1, 9):
+            engine.routing_info(destination)
+        again = engine.routing_info(9)
+        assert again is not first  # was evicted
+        assert again.customer_dist == first.customer_dist
+        assert again.peer_dist == first.peer_dist
+        assert again.provider_dist == first.provider_dist
+
+
+class TestCanonicalKeys:
+    def test_superset_restriction_maps_to_unrestricted(self):
+        graph = _star_graph(leaves=range(1, 4))
+        engine = GaoRexfordEngine(graph)
+        assert engine.cache_key(9, frozenset({1, 2, 3})) == (9, None)
+        assert engine.cache_key(9, frozenset({1, 2, 3, 77})) == (9, None)
+
+    def test_proper_subset_keeps_its_key(self):
+        graph = _star_graph(leaves=range(1, 4))
+        engine = GaoRexfordEngine(graph)
+        allowed = frozenset({1, 2})
+        assert engine.cache_key(9, allowed) == (9, allowed)
+
+    def test_canonicalization_can_be_disabled(self):
+        graph = _star_graph(leaves=range(1, 4))
+        engine = GaoRexfordEngine(graph, canonical_keys=False)
+        allowed = frozenset({1, 2, 3})
+        assert engine.cache_key(9, allowed) == (9, allowed)
+        restricted = engine.routing_info(9, allowed_first_hops=allowed)
+        assert restricted is not engine.routing_info(9)
+
+
+class TestPSPCacheRegression:
+    """Identical first-hop sets across prefixes must share cache entries."""
+
+    PREFIXES = [Prefix.parse(f"10.{i}.0.0/16") for i in range(40)]
+
+    def _decisions(self):
+        return [
+            Decision(
+                asn=1,
+                next_hop=9,
+                destination=9,
+                prefix=prefix,
+                measured_len=1,
+                source_asn=1,
+            )
+            for prefix in self.PREFIXES
+        ]
+
+    def test_psp_layer_does_not_grow_cache_per_prefix(self):
+        graph = _star_graph(leaves=range(1, 4))
+        engine = GaoRexfordEngine(graph)
+        # Every prefix carries its own (but equal) frozenset, as the PSP
+        # first-hop maps did before interning.
+        first_hops = {prefix: frozenset({1, 2}) for prefix in self.PREFIXES}
+        classify_decisions(self._decisions(), engine, first_hops_for=first_hops)
+        stats = engine.cache_stats()
+        assert stats.size == 1, (
+            "one restricted tree expected, cache grew per-prefix: "
+            f"{stats.size} entries"
+        )
+
+    def test_full_coverage_sets_share_the_unrestricted_tree(self):
+        graph = _star_graph(leaves=range(1, 4))
+        engine = GaoRexfordEngine(graph)
+        unrestricted = engine.routing_info(9)
+        first_hops = {prefix: frozenset({1, 2, 3}) for prefix in self.PREFIXES}
+        classify_decisions(self._decisions(), engine, first_hops_for=first_hops)
+        assert engine.cache_stats().size == 1
+        assert engine.routing_info(9, frozenset({1, 2, 3})) is unrestricted
+
+
+class TestFrozenSetInterner:
+    def test_equal_sets_intern_to_one_object(self):
+        interner = FrozenSetInterner()
+        a = interner.intern(frozenset({1, 2, 3}))
+        b = interner.intern(frozenset({3, 2, 1}))
+        assert a is b
+        assert len(interner) == 1
+
+    def test_distinct_sets_stay_distinct(self):
+        interner = FrozenSetInterner()
+        a = interner.intern(frozenset({1}))
+        b = interner.intern(frozenset({2}))
+        assert a is not b
+        assert len(interner) == 2

@@ -1,0 +1,50 @@
+"""StageTimer behavior."""
+
+import pytest
+
+from repro.perf.timing import StageRecord, StageTimer
+
+pytestmark = pytest.mark.tier1
+
+
+class TestStageTimer:
+    def test_stage_records_elapsed_time(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            pass
+        assert "work" in timer
+        assert timer.seconds("work") >= 0.0
+
+    def test_records_even_on_exception(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("stage failed")
+        assert "boom" in timer
+
+    def test_repeated_stages_accumulate(self):
+        timer = StageTimer()
+        with timer.stage("loop"):
+            pass
+        with timer.stage("loop"):
+            pass
+        records = {record.name: record for record in timer.records()}
+        assert records["loop"].calls == 2
+        assert len(timer) == 1
+
+    def test_record_accumulates_manually(self):
+        timer = StageTimer()
+        timer.record("manual", 1.5)
+        timer.record("manual", 0.5)
+        assert timer.seconds("manual") == 2.0
+        assert timer.total() == 2.0
+        assert timer.records()[0] == StageRecord("manual", seconds=2.0, calls=2)
+
+    def test_as_dict_preserves_insertion_order(self):
+        timer = StageTimer()
+        for name in ("c", "a", "b"):
+            timer.record(name, 0.1)
+        assert list(timer.as_dict()) == ["c", "a", "b"]
+
+    def test_unknown_stage_is_zero(self):
+        assert StageTimer().seconds("never-ran") == 0.0
