@@ -10,9 +10,20 @@ and greedy AS-coverage maximization for PEERING monitoring (Section
 from repro.atlas.probes import Probe, generate_probes
 from repro.atlas.selection import select_probes_balanced, select_probes_greedy
 from repro.atlas.dns import CDNResolver
-from repro.atlas.campaign import CampaignConfig, CampaignDataset, Measurement, run_campaign
+from repro.atlas.campaign import (
+    CampaignConfig,
+    CampaignDataset,
+    Measurement,
+    run_campaign,
+    run_resilient_campaign,
+)
 from repro.atlas.budget import BudgetExceeded, CreditLedger, plan_campaign
-from repro.atlas.api import dump_measurements, load_measurements
+from repro.atlas.api import (
+    QuarantinedLine,
+    dump_measurements,
+    load_measurements,
+    load_measurements_resilient,
+)
 
 __all__ = [
     "Probe",
@@ -24,9 +35,12 @@ __all__ = [
     "CampaignDataset",
     "Measurement",
     "run_campaign",
+    "run_resilient_campaign",
     "BudgetExceeded",
     "CreditLedger",
     "plan_campaign",
+    "QuarantinedLine",
     "dump_measurements",
     "load_measurements",
+    "load_measurements_resilient",
 ]

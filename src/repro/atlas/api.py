@@ -4,15 +4,24 @@ Real Atlas traceroute results arrive as JSON with ``src_addr``,
 ``dst_addr``, ``prb_id`` and a ``result`` array of per-hop records.
 These converters let a campaign be exported in that shape and parsed
 back, so the analysis pipeline can also be fed from recorded files.
+
+Documents in the wild are frequently malformed — truncated writes,
+missing keys, non-traceroute types mixed into a result stream.  Every
+parse failure raises a structured
+:class:`~repro.faults.errors.MalformedResultError` (a ``ValueError``
+subclass), which the resilient campaign and study layers consume to
+quarantine the document instead of crashing.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.atlas.campaign import Measurement
 from repro.dataplane.traceroute import TracerouteHop, TracerouteResult
+from repro.faults.errors import MalformedResultError
 from repro.net.ip import IPAddress
 
 
@@ -40,26 +49,101 @@ def traceroute_to_json(result: TracerouteResult, probe_id: int = 0) -> Dict:
     }
 
 
+def _parse_address(document: Dict, key: str) -> IPAddress:
+    value = document.get(key)
+    if value is None:
+        raise MalformedResultError(
+            f"document missing {key!r}", document=document, reason=f"missing-{key}"
+        )
+    try:
+        return IPAddress.parse(str(value))
+    except ValueError as exc:
+        raise MalformedResultError(
+            f"unparseable {key!r}: {value!r}", document=document, reason=f"bad-{key}"
+        ) from exc
+
+
+def _parse_hop(entry: object, document: Dict) -> TracerouteHop:
+    if not isinstance(entry, dict):
+        raise MalformedResultError(
+            f"hop record is not an object: {entry!r}",
+            document=document,
+            reason="bad-hop-record",
+        )
+    replies = entry.get("result", [])
+    if not isinstance(replies, list):
+        raise MalformedResultError(
+            f"hop replies are not an array: {replies!r}",
+            document=document,
+            reason="bad-hop-record",
+        )
+    # A hop can carry several replies (one per sent packet); pick the
+    # first that actually answered with an address.
+    reply = next(
+        (r for r in replies if isinstance(r, dict) and "from" in r), None
+    )
+    if reply is None:
+        return TracerouteHop(ip=None, rtt=None)
+    try:
+        ip = IPAddress.parse(str(reply["from"]))
+    except ValueError as exc:
+        raise MalformedResultError(
+            f"unparseable hop address: {reply['from']!r}",
+            document=document,
+            reason="bad-hop-address",
+        ) from exc
+    rtt = reply.get("rtt")
+    if rtt is not None and not isinstance(rtt, (int, float)):
+        raise MalformedResultError(
+            f"non-numeric hop rtt: {rtt!r}", document=document, reason="bad-hop-rtt"
+        )
+    return TracerouteHop(ip=ip, rtt=rtt)
+
+
 def traceroute_from_json(document: Dict) -> TracerouteResult:
-    """Parse an Atlas-style result document back into a traceroute."""
+    """Parse an Atlas-style result document back into a traceroute.
+
+    Raises :class:`MalformedResultError` (a ``ValueError``) on any
+    document that cannot be understood — wrong type, missing or
+    unparseable required keys, malformed hop records.
+    """
+    if not isinstance(document, dict):
+        raise MalformedResultError(
+            f"document is not an object: {type(document).__name__}",
+            document=document,
+            reason="not-an-object",
+        )
     if document.get("type") != "traceroute":
-        raise ValueError(f"not a traceroute document: {document.get('type')!r}")
-    hops: List[TracerouteHop] = []
-    for entry in document.get("result", []):
-        replies = entry.get("result", [])
-        reply = replies[0] if replies else {"x": "*"}
-        if "from" in reply:
-            hops.append(
-                TracerouteHop(
-                    ip=IPAddress.parse(reply["from"]), rtt=reply.get("rtt")
-                )
-            )
-        else:
-            hops.append(TracerouteHop(ip=None, rtt=None))
+        raise MalformedResultError(
+            f"not a traceroute document: {document.get('type')!r}",
+            document=document,
+            reason="wrong-type",
+        )
+    raw_hops = document.get("result", [])
+    if not isinstance(raw_hops, list):
+        raise MalformedResultError(
+            f"result is not an array: {raw_hops!r}",
+            document=document,
+            reason="bad-result-array",
+        )
+    hops: List[TracerouteHop] = [_parse_hop(entry, document) for entry in raw_hops]
+    asn = document.get("from_asn")
+    if asn is None:
+        raise MalformedResultError(
+            "document missing 'from_asn'", document=document, reason="missing-from_asn"
+        )
+    try:
+        source_asn = int(asn)
+    except (TypeError, ValueError) as exc:
+        raise MalformedResultError(
+            f"unparseable 'from_asn': {asn!r}",
+            document=document,
+            reason="bad-from_asn",
+        ) from exc
     return TracerouteResult(
-        source_asn=int(document["from_asn"]),
-        source_ip=IPAddress.parse(document["src_addr"]),
-        destination_ip=IPAddress.parse(document["dst_addr"]),
+        source_asn=source_asn,
+        source_ip=_parse_address(document, "src_addr"),
+        destination_ip=_parse_address(document, "dst_addr"),
         hops=hops,
         reached=bool(document.get("reached", False)),
     )
@@ -78,7 +162,11 @@ def dump_measurements(measurements: Iterable[Measurement]) -> str:
 
 
 def load_measurements(text: str) -> List[TracerouteResult]:
-    """Parse JSON Lines back into traceroute results."""
+    """Parse JSON Lines back into traceroute results (strict).
+
+    The first malformed line raises; use
+    :func:`load_measurements_resilient` to quarantine instead.
+    """
     results = []
     for line_number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -87,6 +175,46 @@ def load_measurements(text: str) -> List[TracerouteResult]:
         try:
             document = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"line {line_number}: invalid JSON") from exc
+            raise MalformedResultError(
+                f"line {line_number}: invalid JSON", reason="invalid-json"
+            ) from exc
         results.append(traceroute_from_json(document))
     return results
+
+
+@dataclass(frozen=True)
+class QuarantinedLine:
+    """One input line that failed to parse, with its diagnosis."""
+
+    line_number: int
+    reason: str
+    detail: str
+
+
+def load_measurements_resilient(
+    text: str,
+) -> Tuple[List[TracerouteResult], List[QuarantinedLine]]:
+    """Parse JSON Lines, quarantining malformed lines instead of raising.
+
+    Returns ``(results, quarantined)``; every input line lands in
+    exactly one of the two.
+    """
+    results: List[TracerouteResult] = []
+    quarantined: List[QuarantinedLine] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        document: Optional[Dict] = None
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as exc:
+            quarantined.append(
+                QuarantinedLine(line_number, "invalid-json", str(exc))
+            )
+            continue
+        try:
+            results.append(traceroute_from_json(document))
+        except MalformedResultError as exc:
+            quarantined.append(QuarantinedLine(line_number, exc.reason, str(exc)))
+    return results, quarantined

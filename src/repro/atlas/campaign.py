@@ -4,18 +4,47 @@ Ties the substrates together: originate every prefix of every
 destination AS into the BGP simulator, resolve each content DNS name at
 each probe, traceroute to the resolved replica, and collect the raw
 measurements the analysis pipeline consumes.
+
+Two runners share that skeleton:
+
+* :func:`run_campaign` — the fault-free reference path (unchanged seed
+  behaviour, sequential RNG streams, zero overhead), and
+* :func:`run_resilient_campaign` — the production-shaped path: faults
+  injected at every substrate boundary from a seeded
+  :class:`~repro.faults.FaultPlan`, retries with backoff, an
+  append-only checkpoint journal for kill/resume, and a
+  :class:`~repro.faults.RobustnessReport` accounting for every pair.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.atlas.budget import CreditLedger
+from repro.atlas.budget import BudgetExceeded, CreditLedger
 from repro.atlas.dns import CDNResolver
 from repro.atlas.probes import Probe
 from repro.bgp.simulator import BGPSimulator
 from repro.dataplane.traceroute import TracerouteEngine, TracerouteResult
+from repro.faults import (
+    ApiRateLimit,
+    ApiServerError,
+    CampaignInterrupted,
+    CheckpointJournal,
+    DnsServfail,
+    DnsTimeout,
+    FaultPlan,
+    FaultSite,
+    MalformedResultError,
+    ProbeFlapError,
+    RetryExhausted,
+    RetryPolicy,
+    RetryStats,
+    RobustnessReport,
+    derive_seed,
+    pair_key,
+)
 from repro.net.ip import Prefix
 from repro.net.trie import PrefixTrie
 from repro.topogen.internet import Internet, Replica
@@ -27,13 +56,29 @@ class CampaignConfig:
 
     ``ledger`` caps the campaign by measurement credits (Section 3.1's
     "maximum probing rate allowed by RIPE Atlas"): probes whose full
-    DNS+traceroute sweep no longer fits the budget are skipped.
+    DNS+traceroute sweep no longer fits the budget are skipped (and
+    recorded in the dataset, so budget loss stays distinguishable from
+    fault loss).
+
+    The resilience knobs only affect :func:`run_resilient_campaign`:
+    ``fault_plan`` injects failures, ``retry`` governs backoff,
+    ``checkpoint_path`` journals finalized work, ``resume`` restores a
+    previous journal, and ``abort_after`` is a crash-injection drill
+    (kill the campaign after N newly finalized pairs).
     """
 
     seed: int = 0
     missing_hop_rate: float = 0.04
     dns_locality: int = 2
     ledger: Optional[CreditLedger] = None
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    abort_after: Optional[int] = None
+
+    def wants_resilience(self) -> bool:
+        return self.fault_plan is not None or self.checkpoint_path is not None
 
 
 @dataclass(frozen=True)
@@ -60,6 +105,10 @@ class CampaignDataset:
     simulator: BGPSimulator
     destination_asns: Set[int]
     destination_prefixes: Dict[int, List[Prefix]] = field(default_factory=dict)
+    #: Probes never swept because the credit budget ran out first.
+    budget_skipped: List[Probe] = field(default_factory=list)
+    #: Fault/retry/coverage accounting (resilient runner only).
+    robustness: Optional[RobustnessReport] = None
 
     def successful(self) -> List[Measurement]:
         return [m for m in self.measurements if m.traceroute.reached]
@@ -74,6 +123,29 @@ def destination_ases(internet: Internet) -> Set[int]:
     }
 
 
+def _build_simulator(internet: Internet) -> BGPSimulator:
+    return BGPSimulator(
+        internet.graph,
+        policies=internet.policies,
+        country_of=internet.country_of,
+    )
+
+
+def _originate_destinations(
+    internet: Internet, simulator: BGPSimulator
+) -> Tuple[Set[int], PrefixTrie, Dict[int, List[Prefix]]]:
+    """Originate every destination prefix; shared by both runners."""
+    targets = destination_ases(internet)
+    announced: PrefixTrie = PrefixTrie()
+    destination_prefixes: Dict[int, List[Prefix]] = {}
+    for asn in sorted(targets):
+        for prefix in internet.prefixes[asn]:
+            simulator.originate(asn, prefix)
+            announced.insert(prefix, asn)
+        destination_prefixes[asn] = list(internet.prefixes[asn])
+    return targets, announced, destination_prefixes
+
+
 def run_campaign(
     internet: Internet,
     probes: List[Probe],
@@ -83,22 +155,13 @@ def run_campaign(
     """Run the full passive campaign and return the raw dataset."""
     config = config or CampaignConfig()
     if simulator is None:
-        simulator = BGPSimulator(
-            internet.graph,
-            policies=internet.policies,
-            country_of=internet.country_of,
-        )
+        simulator = _build_simulator(internet)
 
     # Originate every prefix of every destination AS so that the BGP
     # feeds expose per-prefix export behaviour (needed by PSP criteria).
-    targets = destination_ases(internet)
-    announced: PrefixTrie = PrefixTrie()
-    destination_prefixes: Dict[int, List[Prefix]] = {}
-    for asn in sorted(targets):
-        for prefix in internet.prefixes[asn]:
-            simulator.originate(asn, prefix)
-            announced.insert(prefix, asn)
-        destination_prefixes[asn] = list(internet.prefixes[asn])
+    targets, announced, destination_prefixes = _originate_destinations(
+        internet, simulator
+    )
 
     resolver = CDNResolver(internet, seed=config.seed, locality=config.dns_locality)
     engine = TracerouteEngine(
@@ -110,6 +173,7 @@ def run_campaign(
     )
 
     measurements: List[Measurement] = []
+    budget_skipped: List[Probe] = []
     ledger = config.ledger
     names = resolver.names()
     for probe in probes:
@@ -118,7 +182,10 @@ def run_campaign(
                 "traceroute", len(names)
             )
             if sweep_cost > ledger.remaining:
-                break  # daily budget exhausted; remaining probes skipped
+                # Daily budget exhausted; the probe is skipped but no
+                # longer vanishes without trace.
+                budget_skipped.append(probe)
+                continue
         for dns_name in names:
             replica = resolver.resolve(dns_name, probe)
             if ledger is not None:
@@ -142,4 +209,346 @@ def run_campaign(
         simulator=simulator,
         destination_asns=targets,
         destination_prefixes=destination_prefixes,
+        budget_skipped=budget_skipped,
+    )
+
+
+# ----------------------------------------------------------------------
+# Resilient runner
+# ----------------------------------------------------------------------
+
+#: Journal disposition values.
+_COMPLETED = "completed"
+_DEGRADED = "degraded"
+_QUARANTINED = "quarantined"
+_LOST = "lost"
+
+
+def _garble(document: Dict, roll: float) -> Dict:
+    """Corrupt a result document the way real feeds corrupt them."""
+    mutated = dict(document)
+    if roll < 0.25:
+        mutated.pop("from_asn", None)
+    elif roll < 0.5:
+        mutated.pop("src_addr", None)
+    elif roll < 0.75:
+        mutated["type"] = "ping"
+    else:
+        mutated["result"] = "garbled"
+    return mutated
+
+
+def _truncate_hops(trace: TracerouteResult, roll: float) -> None:
+    """Cut the tail of the traceroute; it no longer reaches."""
+    if len(trace.hops) > 1:
+        cut = 1 + int(roll * (len(trace.hops) - 1))
+        trace.hops = trace.hops[:cut]
+    trace.reached = False
+
+
+def _inject_loop(trace: TracerouteResult, roll: float) -> None:
+    """Repeat a hop window, as a forwarding loop would."""
+    if len(trace.hops) < 2:
+        return
+    start = int(roll * (len(trace.hops) - 1))
+    window = trace.hops[start : start + 2]
+    trace.hops = trace.hops[: start + 2] + window * 2 + trace.hops[start + 2 :]
+
+
+def _journal_header(config: CampaignConfig, plan: FaultPlan) -> Dict:
+    return {
+        "campaign_seed": config.seed,
+        "plan_fingerprint": plan.fingerprint(),
+    }
+
+
+def _measurement_from_document(
+    document: Dict, probe: Probe, dns_name: str, replica: Replica
+) -> Measurement:
+    """Rebuild a journaled measurement without re-running anything.
+
+    Imported lazily: :mod:`repro.atlas.api` imports ``Measurement``
+    from this module at import time.
+    """
+    from repro.atlas.api import traceroute_from_json
+
+    trace = traceroute_from_json(document)
+    return Measurement(
+        probe=probe, dns_name=dns_name, replica=replica, traceroute=trace
+    )
+
+
+def run_resilient_campaign(
+    internet: Internet,
+    probes: List[Probe],
+    config: Optional[CampaignConfig] = None,
+    simulator: Optional[BGPSimulator] = None,
+) -> CampaignDataset:
+    """Run the campaign under a fault plan, with retries and checkpointing.
+
+    Differences from :func:`run_campaign`:
+
+    * every per-pair random choice (replica selection, traceroute
+      artifacts, fault decisions, retry jitter) is derived from the
+      (seed, probe, name) key instead of a shared sequential stream, so
+      the output is a pure function of the configuration — a resumed
+      run and an uninterrupted run produce byte-identical datasets;
+    * faults from ``config.fault_plan`` fire at each substrate boundary
+      and are retried per ``config.retry`` when transient;
+    * finalized pairs are journaled to ``config.checkpoint_path`` with
+      their credit charges, and ``config.resume`` skips journaled work
+      without double-charging the ledger;
+    * the returned dataset carries a :class:`RobustnessReport` in which
+      every fault-free pair is accounted for exactly once.
+    """
+    from repro.atlas.api import traceroute_from_json, traceroute_to_json
+
+    config = config or CampaignConfig()
+    plan = config.fault_plan or FaultPlan.none(seed=config.seed)
+    retry = config.retry or RetryPolicy(seed=config.seed)
+    if simulator is None:
+        simulator = _build_simulator(internet)
+    targets, announced, destination_prefixes = _originate_destinations(
+        internet, simulator
+    )
+    resolver = CDNResolver(internet, seed=config.seed, locality=config.dns_locality)
+    engine = TracerouteEngine(
+        internet,
+        simulator,
+        announced,
+        seed=config.seed,
+        missing_hop_rate=config.missing_hop_rate,
+    )
+
+    report = RobustnessReport()
+    ledger = config.ledger
+    journal: Optional[CheckpointJournal] = None
+    journaled: Dict[Tuple[int, str], Dict] = {}
+    if config.checkpoint_path is not None:
+        journal = CheckpointJournal(config.checkpoint_path)
+        if config.resume and journal.exists():
+            header, records = journal.load()
+            expected = _journal_header(config, plan)
+            if header is not None:
+                for key in ("campaign_seed", "plan_fingerprint"):
+                    if header.get(key) != expected[key]:
+                        raise ValueError(
+                            f"checkpoint {config.checkpoint_path} was written "
+                            f"under a different {key.replace('_', ' ')}; "
+                            "refusing to resume"
+                        )
+            journaled = {pair_key(record): record for record in records}
+            if ledger is not None:
+                # Restore prior spend so resumed work is not re-charged
+                # and the budget cutoff lands on the same probe.
+                ledger.spent += sum(
+                    int(record.get("charged", 0)) for record in records
+                )
+        fresh = not journal.exists()
+        journal.open_append()
+        if fresh:
+            journal.write_header(_journal_header(config, plan))
+
+    measurements: List[Measurement] = []
+    budget_skipped: List[Probe] = []
+    names = resolver.names()
+    finalized_this_run = 0
+
+    def finalize(
+        probe: Probe,
+        dns_name: str,
+        status: str,
+        reason: Optional[str],
+        charged: int,
+        attempts: int,
+        document: Optional[Dict],
+    ) -> None:
+        nonlocal finalized_this_run
+        if journal is not None:
+            record = {
+                "probe": probe.probe_id,
+                "name": dns_name,
+                "status": status,
+                "reason": reason,
+                "charged": charged,
+                "attempts": attempts,
+            }
+            if document is not None:
+                record["document"] = document
+            journal.append(record)
+        finalized_this_run += 1
+        if (
+            config.abort_after is not None
+            and finalized_this_run >= config.abort_after
+        ):
+            if journal is not None:
+                journal.close()
+            raise CampaignInterrupted(
+                f"campaign killed after {finalized_this_run} finalized pair(s)",
+                completed_pairs=finalized_this_run,
+            )
+
+    for probe in probes:
+        probe_skipped = False
+        if ledger is not None:
+            sweep_cost = ledger.cost_of("dns", len(names)) + ledger.cost_of(
+                "traceroute", len(names)
+            )
+            if sweep_cost > ledger.remaining:
+                probe_skipped = True
+                budget_skipped.append(probe)
+                report.budget_skipped_probes.append(probe.probe_id)
+        probe_down = plan.fires(FaultSite.PROBE_DROPOUT, probe.probe_id)
+        for dns_name in names:
+            pid = probe.probe_id
+            # Ground-truth resolution: per-pair stream, no charge.  It
+            # pins down what the fault-free campaign would measure, so
+            # every loss can be attributed to its destination AS even
+            # when the faulted campaign never learns the replica.
+            pair_rng = random.Random(derive_seed(config.seed, "resolve", pid, dns_name))
+            replica = resolver.resolve(dns_name, probe, rng=pair_rng)
+            if replica is None:
+                continue
+            report.expect(replica.asn)
+
+            key = (pid, dns_name)
+            if key in journaled:
+                record = journaled[key]
+                report.resumed_pairs += 1
+                status = record.get("status")
+                reason = record.get("reason")
+                if status in (_COMPLETED, _DEGRADED):
+                    measurement = _measurement_from_document(
+                        record["document"], probe, dns_name, replica
+                    )
+                    measurements.append(measurement)
+                    if status == _COMPLETED:
+                        report.record_completed(replica.asn)
+                    else:
+                        report.record_degraded(reason or "degraded")
+                elif status == _QUARANTINED:
+                    report.record_quarantined(reason or "malformed-result")
+                else:
+                    report.record_lost(reason or "lost")
+                continue
+
+            if probe_skipped:
+                finalize(probe, dns_name, _LOST, "budget", 0, 0, None)
+                report.record_lost("budget")
+                continue
+            if probe_down:
+                finalize(probe, dns_name, _LOST, "probe-dropout", 0, 0, None)
+                report.record_lost("probe-dropout")
+                continue
+
+            state = {"charged": 0, "dns": False, "traceroute": False}
+
+            def attempt(attempt_no: int, probe=probe, dns_name=dns_name,
+                        replica=replica, state=state, pid=pid):
+                # --- probe scheduling -----------------------------------
+                if plan.fires(FaultSite.PROBE_FLAP, pid, dns_name, attempt_no):
+                    raise ProbeFlapError(f"probe {pid} missed round {attempt_no}")
+                # --- DNS ------------------------------------------------
+                # SERVFAIL is keyed per pair (persistent: retries will
+                # exhaust); timeouts per attempt (transient: clear).
+                if plan.fires(FaultSite.DNS_SERVFAIL, pid, dns_name):
+                    raise DnsServfail(f"SERVFAIL resolving {dns_name!r}")
+                if plan.fires(FaultSite.DNS_TIMEOUT, pid, dns_name, attempt_no):
+                    raise DnsTimeout(f"timeout resolving {dns_name!r}")
+                if ledger is not None and not state["dns"]:
+                    state["charged"] += ledger.charge("dns")
+                    state["dns"] = True
+                # --- traceroute -----------------------------------------
+                if ledger is not None and not state["traceroute"]:
+                    state["charged"] += ledger.charge("traceroute")
+                    state["traceroute"] = True
+                trace = engine.trace(
+                    probe.asn,
+                    probe.ip,
+                    probe.city,
+                    replica.ip,
+                    rng=random.Random(derive_seed(config.seed, "trace", pid, dns_name)),
+                )
+                status, reason = _COMPLETED, None
+                if plan.fires(FaultSite.TRACEROUTE_TRUNCATE, pid, dns_name):
+                    _truncate_hops(
+                        trace, plan.roll(FaultSite.TRACEROUTE_TRUNCATE, pid, dns_name, "cut")
+                    )
+                    status, reason = _DEGRADED, "truncated"
+                elif plan.fires(FaultSite.TRACEROUTE_LOOP, pid, dns_name):
+                    _inject_loop(
+                        trace, plan.roll(FaultSite.TRACEROUTE_LOOP, pid, dns_name, "at")
+                    )
+                    status, reason = _DEGRADED, "loop"
+                # --- result fetch (Atlas API) ---------------------------
+                if plan.fires(FaultSite.API_RATE_LIMIT, pid, dns_name, attempt_no):
+                    raise ApiRateLimit(f"429 fetching results for probe {pid}")
+                if plan.fires(FaultSite.API_SERVER_ERROR, pid, dns_name, attempt_no):
+                    raise ApiServerError(f"503 fetching results for probe {pid}")
+                document = traceroute_to_json(trace, probe_id=pid)
+                document["dns_name"] = dns_name
+                if plan.fires(FaultSite.TRACEROUTE_GARBLE, pid, dns_name):
+                    document = _garble(
+                        document,
+                        plan.roll(FaultSite.TRACEROUTE_GARBLE, pid, dns_name, "how"),
+                    )
+                parsed = traceroute_from_json(document)  # may raise Malformed...
+                parsed.truth_as_path = trace.truth_as_path
+                return status, reason, parsed, document
+
+            call_stats = RetryStats()
+            try:
+                status, reason, parsed, document = retry.execute(
+                    attempt, key=(pid, dns_name), stats=call_stats
+                )
+            except MalformedResultError as error:
+                report.retry.merge(call_stats)
+                report.record_quarantined(error.reason)
+                finalize(
+                    probe, dns_name, _QUARANTINED, error.reason,
+                    state["charged"], call_stats.attempts, None,
+                )
+            except RetryExhausted as error:
+                report.retry.merge(call_stats)
+                report.record_lost(error.reason)
+                finalize(
+                    probe, dns_name, _LOST, error.reason,
+                    state["charged"], call_stats.attempts, None,
+                )
+            except BudgetExceeded:
+                report.retry.merge(call_stats)
+                report.record_lost("budget")
+                finalize(
+                    probe, dns_name, _LOST, "budget",
+                    state["charged"], call_stats.attempts, None,
+                )
+            else:
+                report.retry.merge(call_stats)
+                measurements.append(
+                    Measurement(
+                        probe=probe,
+                        dns_name=dns_name,
+                        replica=replica,
+                        traceroute=parsed,
+                    )
+                )
+                if status == _COMPLETED:
+                    report.record_completed(replica.asn)
+                else:
+                    report.record_degraded(reason or "degraded")
+                finalize(
+                    probe, dns_name, status, reason,
+                    state["charged"], call_stats.attempts, document,
+                )
+
+    if journal is not None:
+        journal.close()
+    return CampaignDataset(
+        measurements=measurements,
+        announced=announced,
+        simulator=simulator,
+        destination_asns=targets,
+        destination_prefixes=destination_prefixes,
+        budget_skipped=budget_skipped,
+        robustness=report,
     )

@@ -35,8 +35,19 @@ class CDNResolver:
     def names(self) -> List[str]:
         return sorted(self._by_name)
 
-    def resolve(self, dns_name: str, probe: Probe) -> Optional[Replica]:
-        """The replica the CDN would hand this probe, or ``None``."""
+    def resolve(
+        self,
+        dns_name: str,
+        probe: Probe,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[Replica]:
+        """The replica the CDN would hand this probe, or ``None``.
+
+        By default draws from the resolver's own sequential stream; the
+        resilient campaign passes a per-(probe, name) ``rng`` so the
+        answer is independent of query order (checkpoint/resume
+        determinism).
+        """
         replicas = self._by_name.get(dns_name)
         if not replicas:
             return None
@@ -45,4 +56,4 @@ class CDNResolver:
             key=lambda replica: (distance_km(probe.city, replica.city), replica.ip),
         )
         window = ranked[: self._locality]
-        return self._rng.choice(window)
+        return (rng if rng is not None else self._rng).choice(window)

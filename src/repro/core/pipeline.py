@@ -15,7 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.atlas.campaign import CampaignConfig, CampaignDataset, Measurement, run_campaign
+from repro.atlas.campaign import (
+    CampaignConfig,
+    CampaignDataset,
+    Measurement,
+    run_campaign,
+    run_resilient_campaign,
+)
 from repro.atlas.probes import Probe, generate_probes
 from repro.atlas.selection import select_probes_balanced, select_probes_greedy
 from repro.bgp.simulator import BGPSimulator
@@ -42,6 +48,7 @@ from repro.core.geography import (
 from repro.core.looking_glass import LookingGlassDeployment, PSPValidation, validate_psp_cases
 from repro.core.psp import PrefixPolicyAnalysis, PSPCase
 from repro.core.skew import ViolationSkew, compute_skew
+from repro.faults import FaultPlan, MalformedResultError, RetryPolicy, RobustnessReport
 from repro.ipmap.geolocation import GeoDatabase
 from repro.ipmap.ip2as import IPToASMapper
 from repro.ipmap.path_conversion import ASLevelPath, convert_traceroute
@@ -121,6 +128,12 @@ class StudyConfig:
     num_muxes: int = 7
     active_vp_budget: int = 96
     max_discovery_targets: int = 36
+    #: Resilience: inject faults into the campaign (and mux sessions),
+    #: retry transient ones, and checkpoint/resume the campaign.
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: Optional[RetryPolicy] = None
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
 
 
 @dataclass
@@ -172,6 +185,8 @@ class StudyResults:
     magnet_observations: List = field(default_factory=list)
     #: Wall-clock seconds per pipeline stage (see repro.perf.timing).
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Fault/retry/coverage accounting (fault-injected campaigns only).
+    robustness: Optional[RobustnessReport] = None
 
 
 class Study:
@@ -215,20 +230,33 @@ class Study:
         if config.active_experiments:
             with timer.stage("testbed"):
                 testbed = PeeringTestbed(
-                    internet, num_muxes=config.num_muxes, seed=seed + 2
+                    internet,
+                    num_muxes=config.num_muxes,
+                    seed=seed + 2,
+                    fault_plan=config.fault_plan,
+                    retry=config.retry_policy,
                 )
 
-        # Stage 3: probes and the passive campaign.
+        # Stage 3: probes and the passive campaign.  A fault plan or a
+        # checkpoint path routes through the resilient runner; the
+        # fault-free path stays on the zero-overhead reference runner.
         with timer.stage("campaign"):
             probes = generate_probes(internet, count=config.num_probes, seed=seed + 3)
             selected = select_probes_balanced(
                 probes, per_continent=config.probes_per_continent, seed=seed + 4
             )
-            dataset = run_campaign(
-                internet,
-                selected,
-                CampaignConfig(seed=seed + 5, missing_hop_rate=config.missing_hop_rate),
+            campaign_config = CampaignConfig(
+                seed=seed + 5,
+                missing_hop_rate=config.missing_hop_rate,
+                fault_plan=config.fault_plan,
+                retry=config.retry_policy,
+                checkpoint_path=config.checkpoint_path,
+                resume=config.resume,
             )
+            if campaign_config.wants_resilience():
+                dataset = run_resilient_campaign(internet, selected, campaign_config)
+            else:
+                dataset = run_campaign(internet, selected, campaign_config)
 
         # Stage 4: control-plane visibility.
         with timer.stage("feeds"):
@@ -250,9 +278,20 @@ class Study:
                 seed=seed + 7,
             )
 
-        # Stage 6: decisions from traceroutes.
+        # Stage 6: decisions from traceroutes.  Malformed measurements
+        # are quarantined into the robustness report, never raised.
+        robustness = dataset.robustness
         with timer.stage("extract_decisions"):
-            per_measurement = self._extract_decisions(dataset, mapper, geo)
+            per_measurement, pipeline_quarantined = self._extract_decisions(
+                dataset, mapper, geo
+            )
+            if pipeline_quarantined:
+                if robustness is None:
+                    robustness = RobustnessReport()
+                for reason, count in pipeline_quarantined.items():
+                    robustness.quarantined[f"pipeline:{reason}"] = (
+                        robustness.quarantined.get(f"pipeline:{reason}", 0) + count
+                    )
             decisions = [
                 decision for _m, _path, group in per_measurement for decision in group
             ]
@@ -353,6 +392,7 @@ class Study:
             psp_cases_2=psp_cases_2,
             psp_validation=psp_validation,
             probe_table=probe_table,
+            robustness=robustness,
             engine=engine_simple,
             engine_complex=engine_complex,
             known_complex=known_complex,
@@ -368,6 +408,9 @@ class Study:
         if testbed is not None:
             with timer.stage("active_experiments"):
                 self._run_active(results, testbed, probes, inferred, internet, seed)
+            if results.robustness is not None:
+                results.robustness.mux_session_resets = testbed.session_resets
+                results.robustness.retry.merge(testbed.retry_stats)
 
         results.stage_timings = timer.as_dict()
         self._results = results
@@ -381,10 +424,27 @@ class Study:
         dataset: CampaignDataset,
         mapper: IPToASMapper,
         geo: GeoDatabase,
-    ) -> List[Tuple[Measurement, ASLevelPath, List[Decision]]]:
+    ) -> Tuple[
+        List[Tuple[Measurement, ASLevelPath, List[Decision]]], Dict[str, int]
+    ]:
+        """Decisions per measurement, plus quarantine counts by reason.
+
+        A malformed measurement (recorded files, fault-injected
+        campaigns) is quarantined rather than allowed to abort the
+        study: the pipeline completes on partial data.
+        """
         extracted: List[Tuple[Measurement, ASLevelPath, List[Decision]]] = []
+        quarantined: Dict[str, int] = {}
         for measurement in dataset.successful():
-            path = convert_traceroute(measurement.traceroute, mapper)
+            try:
+                path = convert_traceroute(measurement.traceroute, mapper)
+            except MalformedResultError as error:
+                quarantined[error.reason] = quarantined.get(error.reason, 0) + 1
+                continue
+            except (KeyError, ValueError) as error:
+                reason = type(error).__name__
+                quarantined[reason] = quarantined.get(reason, 0) + 1
+                continue
             if path is None:
                 continue
             match = dataset.announced.lookup_with_prefix(
@@ -414,7 +474,7 @@ class Study:
                     )
                 )
             extracted.append((measurement, path, group))
-        return extracted
+        return extracted, quarantined
 
     def _border_cities(
         self,

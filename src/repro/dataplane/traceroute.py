@@ -81,8 +81,16 @@ class TracerouteEngine:
         source_ip: IPAddress,
         source_city: City,
         destination_ip: IPAddress,
+        rng: Optional[random.Random] = None,
     ) -> TracerouteResult:
-        """Run one traceroute; deterministic given the engine seed."""
+        """Run one traceroute; deterministic given the engine seed.
+
+        Passing ``rng`` draws missing-hop and jitter randomness from
+        that stream instead of the engine's sequential one, making the
+        trace a pure function of the caller's key — the property the
+        resumable campaign relies on.
+        """
+        rng = rng if rng is not None else self._rng
         result = TracerouteResult(
             source_asn=source_asn,
             source_ip=source_ip,
@@ -98,10 +106,10 @@ class TracerouteEngine:
         raw_hops = self._expand_hops(as_path, destination_ip)
         for index, (ip, city) in enumerate(raw_hops):
             is_destination = index == len(raw_hops) - 1
-            if not is_destination and self._rng.random() < self._missing_hop_rate:
+            if not is_destination and rng.random() < self._missing_hop_rate:
                 result.hops.append(TracerouteHop(ip=None, rtt=None))
                 continue
-            jitter = self._rng.random() * 1.5
+            jitter = rng.random() * 1.5
             rtt = rtt_ms(source_city, city, hop_count=index + 1, jitter=jitter)
             result.hops.append(TracerouteHop(ip=ip, rtt=round(rtt, 3)))
         result.reached = True

@@ -1,0 +1,63 @@
+"""Fault injection and resilience machinery.
+
+The measurement substrate the paper runs on is lossy: probes go dark,
+DNS fails, traceroutes truncate or loop, the Atlas API throttles, and
+PEERING mux sessions reset.  This package provides the generic pieces
+the campaign and analysis layers use to survive all of that:
+
+* :class:`FaultPlan` — seeded, hash-keyed deterministic fault injection
+  per substrate boundary (:class:`FaultSite`),
+* :class:`RetryPolicy` / :class:`RetryStats` — seeded exponential
+  backoff with full jitter on a virtual clock,
+* :class:`CheckpointJournal` — append-only JSONL checkpointing with
+  torn-tail recovery for resumable campaigns,
+* :class:`RobustnessReport` — full where-did-every-measurement-go
+  accounting, and
+* the structured fault taxonomy in :mod:`repro.faults.errors`.
+
+This package deliberately imports nothing from the measurement layers,
+so any of them can depend on it without cycles.
+"""
+
+from repro.faults.errors import (
+    ApiRateLimit,
+    ApiServerError,
+    AtlasApiError,
+    CampaignInterrupted,
+    DnsServfail,
+    DnsTimeout,
+    FaultError,
+    MalformedResultError,
+    MuxSessionReset,
+    ProbeDownError,
+    ProbeFlapError,
+    RetryExhausted,
+)
+from repro.faults.journal import CheckpointJournal, JournalCorrupted, pair_key
+from repro.faults.plan import FaultPlan, FaultSite, derive_seed
+from repro.faults.report import RobustnessReport
+from repro.faults.retry import RetryPolicy, RetryStats
+
+__all__ = [
+    "ApiRateLimit",
+    "ApiServerError",
+    "AtlasApiError",
+    "CampaignInterrupted",
+    "CheckpointJournal",
+    "DnsServfail",
+    "DnsTimeout",
+    "FaultError",
+    "FaultPlan",
+    "FaultSite",
+    "JournalCorrupted",
+    "MalformedResultError",
+    "MuxSessionReset",
+    "ProbeDownError",
+    "ProbeFlapError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RetryStats",
+    "RobustnessReport",
+    "derive_seed",
+    "pair_key",
+]

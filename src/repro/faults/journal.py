@@ -1,0 +1,136 @@
+"""Append-only JSONL checkpoint journal for resumable campaigns.
+
+Every finalized (probe, dns-name) pair — completed, degraded,
+quarantined or lost — is appended as one JSON line together with the
+credits it charged, so a resumed campaign can skip the pair *and*
+restore the ledger spend without double-charging.
+
+A crash can tear the trailing line (partial write).  ``load`` detects
+unparseable lines at the tail and drops them — the pair simply re-runs
+on resume — while corruption in the middle of the file (which a crash
+cannot produce on an append-only log) raises :class:`JournalCorrupted`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, List, Optional, Tuple
+
+JOURNAL_SCHEMA = 1
+
+KIND_HEADER = "header"
+KIND_PAIR = "pair"
+
+
+class JournalCorrupted(ValueError):
+    """Unparseable journal content *before* the trailing line."""
+
+
+def pair_key(record: Dict) -> Tuple[int, str]:
+    """The (probe_id, dns_name) identity of a journaled pair."""
+    return int(record["probe"]), str(record["name"])
+
+
+class CheckpointJournal:
+    """One campaign's checkpoint file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+        #: Torn trailing lines dropped by the last ``load`` call.
+        self.torn_lines = 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Tuple[Optional[Dict], List[Dict]]:
+        """Parse the journal into ``(header, pair records)``.
+
+        Returns ``(None, [])`` when the file does not exist.  Torn
+        trailing lines are dropped (counted in ``torn_lines``); corrupt
+        interior lines raise :class:`JournalCorrupted`.
+        """
+        self.torn_lines = 0
+        if not self.exists():
+            return None, []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        parsed: List[Tuple[int, Optional[Dict]]] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                document = json.loads(line)
+                if not isinstance(document, dict):
+                    document = None
+            except json.JSONDecodeError:
+                document = None
+            parsed.append((number, document))
+        # Only a trailing run of unparseable lines is crash-consistent.
+        while parsed and parsed[-1][1] is None:
+            parsed.pop()
+            self.torn_lines += 1
+        bad = [number for number, document in parsed if document is None]
+        if bad:
+            raise JournalCorrupted(
+                f"{self.path}: unparseable journal line(s) {bad} before the tail"
+            )
+        header: Optional[Dict] = None
+        records: List[Dict] = []
+        for number, document in parsed:
+            kind = document.get("kind")
+            if kind == KIND_HEADER:
+                if header is None:
+                    header = document
+                continue
+            if kind == KIND_PAIR:
+                if "probe" not in document or "name" not in document:
+                    raise JournalCorrupted(
+                        f"{self.path}: line {number} lacks a (probe, name) key"
+                    )
+                records.append(document)
+        return header, records
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def open_append(self) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write_header(self, header: Dict) -> None:
+        record = dict(header)
+        record["kind"] = KIND_HEADER
+        record["schema"] = JOURNAL_SCHEMA
+        self._append_line(record)
+
+    def append(self, record: Dict) -> None:
+        line = dict(record)
+        line["kind"] = KIND_PAIR
+        self._append_line(line)
+
+    def _append_line(self, record: Dict) -> None:
+        if self._handle is None:
+            self.open_append()
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        self.open_append()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

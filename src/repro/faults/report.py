@@ -1,0 +1,178 @@
+"""Robustness accounting for fault-injected campaigns.
+
+The report answers "where did every measurement go?": each attempted
+(probe, dns-name) pair ends in exactly one disposition, so
+
+``completed + degraded + quarantined + lost == total_pairs``
+
+where ``total_pairs`` is what a fault-free campaign with the same seed
+would have measured.  Per-destination-AS expected/observed counts show
+which ASes lost coverage, and the embedded :class:`RetryStats` shows
+how hard the campaign had to fight for what it kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.faults.retry import RetryStats
+
+#: Disposition names, in reporting order.
+DISPOSITIONS = ("completed", "degraded", "quarantined", "lost")
+
+
+@dataclass
+class RobustnessReport:
+    """Full accounting of one campaign under faults."""
+
+    #: (probe, name) pairs a fault-free run would have measured.
+    total_pairs: int = 0
+    #: Pairs that produced a clean, usable measurement.
+    completed: int = 0
+    #: Pairs that produced a measurement of degraded value (reason -> n),
+    #: e.g. truncated or looping traceroutes.
+    degraded: Dict[str, int] = field(default_factory=dict)
+    #: Pairs whose result document was malformed (reason -> n).
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    #: Pairs that produced nothing at all (reason -> n).
+    lost: Dict[str, int] = field(default_factory=dict)
+    #: Probes skipped whole because the credit budget ran out.
+    budget_skipped_probes: List[int] = field(default_factory=list)
+    #: Pairs restored from the checkpoint journal instead of re-run.
+    resumed_pairs: int = 0
+    retry: RetryStats = field(default_factory=RetryStats)
+    #: Fault-free measurements per destination AS.
+    per_as_expected: Dict[int, int] = field(default_factory=dict)
+    #: Clean measurements per destination AS under faults.
+    per_as_observed: Dict[int, int] = field(default_factory=dict)
+    #: PEERING mux session resets survived (active experiments).
+    mux_session_resets: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def expect(self, destination_asn: int) -> None:
+        self.total_pairs += 1
+        self.per_as_expected[destination_asn] = (
+            self.per_as_expected.get(destination_asn, 0) + 1
+        )
+
+    def record_completed(self, destination_asn: int) -> None:
+        self.completed += 1
+        self.per_as_observed[destination_asn] = (
+            self.per_as_observed.get(destination_asn, 0) + 1
+        )
+
+    def record_degraded(self, reason: str) -> None:
+        self.degraded[reason] = self.degraded.get(reason, 0) + 1
+
+    def record_quarantined(self, reason: str) -> None:
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+
+    def record_lost(self, reason: str) -> None:
+        self.lost[reason] = self.lost.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def degraded_total(self) -> int:
+        return sum(self.degraded.values())
+
+    def quarantined_total(self) -> int:
+        return sum(self.quarantined.values())
+
+    def lost_total(self) -> int:
+        return sum(self.lost.values())
+
+    def accounted(self) -> bool:
+        """Every expected pair ended in exactly one disposition."""
+        return (
+            self.completed
+            + self.degraded_total()
+            + self.quarantined_total()
+            + self.lost_total()
+            == self.total_pairs
+        )
+
+    def coverage(self) -> float:
+        """Fraction of the fault-free campaign that survived cleanly."""
+        if self.total_pairs == 0:
+            return 1.0
+        return self.completed / self.total_pairs
+
+    def as_coverage(self, asn: int) -> float:
+        expected = self.per_as_expected.get(asn, 0)
+        if expected == 0:
+            return 1.0
+        return self.per_as_observed.get(asn, 0) / expected
+
+    def worst_covered_ases(self, count: int = 5) -> List[int]:
+        """Destination ASes with the lowest coverage, worst first."""
+        ranked = sorted(
+            self.per_as_expected, key=lambda asn: (self.as_coverage(asn), asn)
+        )
+        return ranked[:count]
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "total_pairs": self.total_pairs,
+            "completed": self.completed,
+            "degraded": dict(sorted(self.degraded.items())),
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "lost": dict(sorted(self.lost.items())),
+            "budget_skipped_probes": list(self.budget_skipped_probes),
+            "resumed_pairs": self.resumed_pairs,
+            "coverage": round(self.coverage(), 4),
+            "accounted": self.accounted(),
+            "retry": self.retry.as_dict(),
+            "mux_session_resets": self.mux_session_resets,
+            "ases_expected": len(self.per_as_expected),
+            "ases_fully_covered": sum(
+                1 for asn in self.per_as_expected if self.as_coverage(asn) >= 1.0
+            ),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "Robustness report",
+            f"  expected pairs:   {self.total_pairs}"
+            + (f" ({self.resumed_pairs} restored from checkpoint)" if self.resumed_pairs else ""),
+            f"  completed:        {self.completed} ({100.0 * self.coverage():.1f}% coverage)",
+        ]
+        for label, counts in (
+            ("degraded", self.degraded),
+            ("quarantined", self.quarantined),
+            ("lost", self.lost),
+        ):
+            total = sum(counts.values())
+            detail = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(counts.items())
+            )
+            lines.append(f"  {label + ':':<18}{total}" + (f" ({detail})" if detail else ""))
+        if self.budget_skipped_probes:
+            lines.append(
+                f"  budget-skipped probes: {len(self.budget_skipped_probes)}"
+            )
+        retry = self.retry
+        lines.append(
+            f"  retries:          {retry.retries} "
+            f"(recovered {retry.succeeded_after_retry}, exhausted {retry.exhausted}, "
+            f"~{retry.simulated_wait_s:.0f}s simulated wait)"
+        )
+        if self.mux_session_resets:
+            lines.append(f"  mux session resets survived: {self.mux_session_resets}")
+        covered = sum(
+            1 for asn in self.per_as_expected if self.as_coverage(asn) >= 1.0
+        )
+        lines.append(
+            f"  destination ASes: {covered}/{len(self.per_as_expected)} fully covered"
+        )
+        lines.append(
+            "  accounting:       "
+            + ("balanced" if self.accounted() else "UNBALANCED (bug)")
+        )
+        return "\n".join(lines)

@@ -17,6 +17,13 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.bgp.policy import Policy
 from repro.bgp.simulator import BGPSimulator
+from repro.faults import (
+    FaultPlan,
+    FaultSite,
+    MuxSessionReset,
+    RetryPolicy,
+    RetryStats,
+)
 from repro.net.ip import Prefix, PrefixAllocator
 from repro.topogen.internet import Interconnect, Internet
 from repro.topology.asys import AS, ASRole
@@ -48,6 +55,8 @@ class PeeringTestbed:
         seed: int = 0,
         peering_asn: int = DEFAULT_PEERING_ASN,
         num_prefixes: int = 4,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.internet = internet
         self.asn = peering_asn
@@ -55,6 +64,16 @@ class PeeringTestbed:
         self.muxes = self._choose_muxes(rng, num_muxes)
         self._pool = PrefixAllocator(_PEERING_POOL)
         self.prefixes = [self._pool.allocate(24) for _ in range(num_prefixes)]
+        #: Fault injection: mux BGP sessions reset per announcement
+        #: attempt; with a retry policy the session re-establishes.
+        #: A plan without an explicit policy gets a default one, so a
+        #: fault-injected study survives resets instead of raising.
+        self._fault_plan = fault_plan
+        if retry is None and fault_plan is not None:
+            retry = RetryPolicy(seed=seed)
+        self._retry = retry
+        self.session_resets = 0
+        self.retry_stats = RetryStats()
         self._install()
 
     # ------------------------------------------------------------------
@@ -187,14 +206,35 @@ class PeeringTestbed:
 
         ``poisoned`` ASNs ride inside an AS-set wrapped by PEERING's own
         ASN, per the paper's announcement shape.
+
+        With a fault plan installed, mux BGP sessions can reset
+        mid-announcement (:class:`MuxSessionReset`); a retry policy
+        re-establishes the session and re-announces, otherwise the
+        reset propagates to the caller.
         """
         allowed = frozenset(self.mux_asns() if muxes is None else muxes)
         unknown = allowed - frozenset(self.mux_asns())
         if unknown:
             raise ValueError(f"not PEERING muxes: {sorted(unknown)}")
-        policy = self.internet.policies[self.asn]
-        policy.selective_export[prefix] = allowed
-        simulator.originate(self.asn, prefix, poisoned=poisoned)
+
+        def attempt(attempt_no: int) -> None:
+            if self._fault_plan is not None and self._fault_plan.fires(
+                FaultSite.MUX_RESET, str(prefix), attempt_no
+            ):
+                self.session_resets += 1
+                raise MuxSessionReset(
+                    f"mux session reset announcing {prefix} (attempt {attempt_no})"
+                )
+            policy = self.internet.policies[self.asn]
+            policy.selective_export[prefix] = allowed
+            simulator.originate(self.asn, prefix, poisoned=poisoned)
+
+        if self._retry is not None:
+            self._retry.execute(
+                attempt, key=("announce", str(prefix)), stats=self.retry_stats
+            )
+        else:
+            attempt(1)
 
     def withdraw(self, simulator: BGPSimulator, prefix: Prefix) -> None:
         simulator.withdraw(self.asn, prefix)

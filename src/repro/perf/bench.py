@@ -95,6 +95,91 @@ def seven_layer_batched(
     return elapsed, figure1, report, cache_stats
 
 
+def robustness_overhead(
+    study: StudyResults,
+    batched_seconds: float,
+    workers: Optional[int] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Cost of the resilience layer on a no-fault-plan run.
+
+    Two legs: the campaign (where the fault-injection hooks actually
+    live) timed through the classic runner vs the resilient runner with
+    a zero :class:`~repro.faults.FaultPlan`, and the hot seven-layer
+    classification re-timed with the faults subsystem active in the
+    process — which must stay within noise of the main measurement,
+    since no robustness code sits on that path.
+    """
+    from repro.atlas.campaign import (
+        CampaignConfig,
+        run_campaign,
+        run_resilient_campaign,
+    )
+    from repro.faults import FaultPlan
+
+    internet = study.internet
+    probes = study.selected_probes
+    # The pipeline's campaign stage uses seed + 5 (see Study.run).
+    campaign_seed = study.config.seed + 5
+    classic_s = resilient_s = float("inf")
+    resilient_dataset = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_campaign(
+            internet,
+            probes,
+            CampaignConfig(
+                seed=campaign_seed,
+                missing_hop_rate=study.config.missing_hop_rate,
+            ),
+        )
+        classic_s = min(classic_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        resilient_dataset = run_resilient_campaign(
+            internet,
+            probes,
+            CampaignConfig(
+                seed=campaign_seed,
+                missing_hop_rate=study.config.missing_hop_rate,
+                fault_plan=FaultPlan.none(seed=campaign_seed),
+            ),
+        )
+        resilient_s = min(resilient_s, time.perf_counter() - start)
+    report = resilient_dataset.robustness if resilient_dataset else None
+
+    # Interleave the two classification legs so clock drift cannot
+    # masquerade as overhead; at ~tens of milliseconds per leg the
+    # extra repeats are cheap.
+    baseline_s = reclassified_s = float("inf")
+    for _ in range(max(repeats, 5)):
+        elapsed, _counts, _report, _stats = seven_layer_batched(
+            study, workers=workers
+        )
+        baseline_s = min(baseline_s, elapsed)
+        elapsed, _counts, _report, _stats = seven_layer_batched(
+            study, workers=workers
+        )
+        reclassified_s = min(reclassified_s, elapsed)
+    batched_seconds = min(batched_seconds, baseline_s)
+
+    def pct(observed: float, baseline: float) -> Optional[float]:
+        if not baseline:
+            return None
+        return round((observed / baseline - 1.0) * 100.0, 2)
+
+    return {
+        "fault_plan": None,
+        "campaign_pairs": report.total_pairs if report else 0,
+        "campaign_coverage": report.coverage() if report else None,
+        "campaign_classic_seconds": round(classic_s, 6),
+        "campaign_resilient_seconds": round(resilient_s, 6),
+        "campaign_overhead_pct": pct(resilient_s, classic_s),
+        "classification_batched_seconds": round(batched_seconds, 6),
+        "classification_with_faults_active_seconds": round(reclassified_s, 6),
+        "classification_overhead_pct": pct(reclassified_s, batched_seconds),
+    }
+
+
 def run_benchmark(
     study: StudyResults,
     workers: Optional[int] = None,
@@ -146,6 +231,9 @@ def run_benchmark(
             "results_identical": identical,
         },
         "cache": cache_stats,
+        "robustness": robustness_overhead(
+            study, batched_s, workers=workers, repeats=repeats
+        ),
     }
 
 
@@ -236,6 +324,14 @@ def main(argv: Optional[list] = None) -> int:
         f"trees computed={cls['trees_computed']}, reused={cls['trees_reused']})"
     )
     print(f"results identical: {cls['results_identical']}")
+    rob = payload["robustness"]
+    print(
+        f"robustness layer (no fault plan): campaign "
+        f"{rob['campaign_classic_seconds']:.3f}s -> "
+        f"{rob['campaign_resilient_seconds']:.3f}s "
+        f"({rob['campaign_overhead_pct']:+.1f}%), "
+        f"classification overhead {rob['classification_overhead_pct']:+.1f}%"
+    )
     print(f"wrote {path}")
     return 0 if cls["results_identical"] else 1
 

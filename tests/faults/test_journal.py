@@ -1,0 +1,88 @@
+"""Tests for the append-only checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.faults import CheckpointJournal, JournalCorrupted, pair_key
+
+pytestmark = pytest.mark.faults
+
+
+def _record(probe, name, **extra):
+    record = {"probe": probe, "name": name, "status": "completed", "charged": 70}
+    record.update(extra)
+    return record
+
+
+class TestRoundtrip:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.write_header({"campaign_seed": 1, "plan_fingerprint": "abc"})
+            journal.append(_record(1, "cdn-a.example"))
+            journal.append(_record(1, "cdn-b.example"))
+        header, records = CheckpointJournal(path).load()
+        assert header["campaign_seed"] == 1
+        assert header["plan_fingerprint"] == "abc"
+        assert [pair_key(r) for r in records] == [
+            (1, "cdn-a.example"),
+            (1, "cdn-b.example"),
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "nope.jsonl"))
+        assert journal.load() == (None, [])
+        assert not journal.exists()
+
+    def test_append_after_load_preserves_existing(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(2, "b"))
+        _header, records = CheckpointJournal(path).load()
+        assert len(records) == 2
+
+
+class TestTornLines:
+    def test_torn_trailing_line_dropped(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+            journal.append(_record(1, "b"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"probe": 1, "name": "c", "stat')  # torn write
+        journal = CheckpointJournal(path)
+        _header, records = journal.load()
+        assert [pair_key(r) for r in records] == [(1, "a"), (1, "b")]
+        assert journal.torn_lines == 1
+
+    def test_multiple_torn_tail_lines_dropped(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"half"')
+        journal = CheckpointJournal(path)
+        _header, records = journal.load()
+        assert len(records) == 1
+        assert journal.torn_lines == 2
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_record(1, "a")) + "\n")
+            handle.write("corrupted line\n")
+            handle.write(json.dumps(_record(1, "b")) + "\n")
+        with pytest.raises(JournalCorrupted):
+            CheckpointJournal(path).load()
+
+    def test_pair_record_without_key_raises(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "pair", "status": "completed"}) + "\n")
+            handle.write(json.dumps(_record(1, "b", kind="pair")) + "\n")
+        with pytest.raises(JournalCorrupted):
+            CheckpointJournal(path).load()

@@ -1,0 +1,91 @@
+"""Tests for seeded deterministic fault plans."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite, derive_seed
+
+pytestmark = pytest.mark.faults
+
+
+class TestRolls:
+    def test_roll_is_deterministic(self):
+        plan = FaultPlan(seed=42, rates={FaultSite.DNS_TIMEOUT: 0.5})
+        first = plan.roll(FaultSite.DNS_TIMEOUT, 7, "cdn.example", 1)
+        second = plan.roll(FaultSite.DNS_TIMEOUT, 7, "cdn.example", 1)
+        assert first == second
+        assert 0.0 <= first < 1.0
+
+    def test_roll_independent_of_call_order(self):
+        plan = FaultPlan(seed=42)
+        a_then_b = (plan.roll(FaultSite.PROBE_FLAP, 1), plan.roll(FaultSite.PROBE_FLAP, 2))
+        b_then_a = (plan.roll(FaultSite.PROBE_FLAP, 2), plan.roll(FaultSite.PROBE_FLAP, 1))
+        assert a_then_b == (b_then_a[1], b_then_a[0])
+
+    def test_sites_do_not_interfere(self):
+        plan = FaultPlan(seed=42)
+        assert plan.roll(FaultSite.DNS_TIMEOUT, 1) != plan.roll(
+            FaultSite.DNS_SERVFAIL, 1
+        )
+
+    def test_seed_changes_rolls(self):
+        a = FaultPlan(seed=1).roll(FaultSite.API_RATE_LIMIT, 3, "x")
+        b = FaultPlan(seed=2).roll(FaultSite.API_RATE_LIMIT, 3, "x")
+        assert a != b
+
+    def test_fires_respects_rate(self):
+        never = FaultPlan(seed=1, rates={})
+        always = FaultPlan(seed=1, rates={FaultSite.MUX_RESET: 1.0})
+        assert not never.fires(FaultSite.MUX_RESET, "p")
+        assert always.fires(FaultSite.MUX_RESET, "p")
+
+    def test_fire_frequency_tracks_rate(self):
+        plan = FaultPlan(seed=9, rates={FaultSite.PROBE_DROPOUT: 0.3})
+        fired = sum(
+            1 for key in range(2000) if plan.fires(FaultSite.PROBE_DROPOUT, key)
+        )
+        assert 0.25 < fired / 2000 < 0.35
+
+
+class TestValidationAndSerialization:
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, rates={FaultSite.DNS_TIMEOUT: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, rates={FaultSite.DNS_TIMEOUT: -0.1})
+
+    def test_rejects_unknown_site_name(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(seed=0, rates={"atlas/dns:wat": 0.1})
+
+    def test_string_site_names_accepted(self):
+        plan = FaultPlan(seed=0, rates={"atlas/dns:timeout": 0.2})
+        assert plan.rate(FaultSite.DNS_TIMEOUT) == 0.2
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            seed=5,
+            rates={FaultSite.DNS_TIMEOUT: 0.1, FaultSite.API_RATE_LIMIT: 0.05},
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_roundtrip(self, tmp_path):
+        plan = FaultPlan(seed=5, rates={FaultSite.TRACEROUTE_GARBLE: 0.02})
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_fingerprint_distinguishes_plans(self):
+        a = FaultPlan(seed=1, rates={FaultSite.DNS_TIMEOUT: 0.1})
+        b = FaultPlan(seed=1, rates={FaultSite.DNS_TIMEOUT: 0.2})
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == FaultPlan.from_json(a.to_json()).fingerprint()
+
+    def test_none_plan_is_zero(self):
+        assert FaultPlan.none(seed=3).is_zero()
+        assert not FaultPlan(seed=3, rates={FaultSite.MUX_RESET: 0.5}).is_zero()
+
+
+class TestDeriveSeed:
+    def test_stable_and_distinct(self):
+        assert derive_seed(1, "trace", 2, "x") == derive_seed(1, "trace", 2, "x")
+        assert derive_seed(1, "trace", 2, "x") != derive_seed(1, "trace", 2, "y")
