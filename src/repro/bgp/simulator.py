@@ -21,7 +21,26 @@ from repro.topology.graph import ASGraph
 
 
 class ConvergenceError(RuntimeError):
-    """The network failed to reach a fixed point within the event budget."""
+    """The network failed to reach a fixed point within the event budget.
+
+    Carries the context a supervisor needs to attribute the blowout:
+    which origination triggered it (``prefix``), the convergence epoch
+    counter at the time (``epoch``), and how many events had been
+    delivered when the hard limit fired (``delivered``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        prefix: Optional[Prefix] = None,
+        epoch: int = 0,
+        delivered: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.prefix = prefix
+        self.epoch = epoch
+        self.delivered = delivered
 
 
 class BGPSimulator:
@@ -34,6 +53,7 @@ class BGPSimulator:
         country_of: Optional[CountryLookup] = None,
         max_events_per_link: int = 400,
         flap_limit: int = 60,
+        soft_limit_fraction: float = 0.8,
     ) -> None:
         self.graph = graph
         self._country_of = country_of
@@ -51,6 +71,17 @@ class BGPSimulator:
         self.clock = 0
         num_links = max(1, graph.num_links())
         self._max_events = max_events_per_link * num_links
+        #: Event count at which the soft-limit warning fires (once per
+        #: ``run``), before the hard ConvergenceError at ``_max_events``.
+        self._soft_events = int(self._max_events * soft_limit_fraction)
+        #: Supervisor hook: called as ``on_soft_limit(prefix, epoch,
+        #: delivered)`` when a run crosses the soft event limit — the
+        #: early-warning signal a circuit breaker can act on before the
+        #: hard limit aborts the epoch.
+        self.on_soft_limit = None
+        #: Convergence epoch counter (one per origination change).
+        self.epoch = 0
+        self._origination_prefix: Optional[Prefix] = None
         #: FIFO of (destination ASN, message) awaiting delivery.
         self._queue: Deque[Tuple[int, object]] = deque()
 
@@ -76,6 +107,7 @@ class BGPSimulator:
         # Exports are re-evaluated even when the local route is
         # unchanged: the origin's export policy may have been edited
         # (e.g. PEERING steering announcements to a different mux set).
+        self._origination_prefix = prefix
         self._new_epoch()
         self._enqueue_exports(asn, prefix)
         self.run()
@@ -83,12 +115,14 @@ class BGPSimulator:
     def withdraw(self, asn: int, prefix: Prefix) -> None:
         """Withdraw ``asn``'s origination of ``prefix`` and converge."""
         speaker = self._speaker(asn)
+        self._origination_prefix = prefix
         if speaker.withdraw_origin(prefix):
             self._new_epoch()
             self._enqueue_exports(asn, prefix)
         self.run()
 
     def _new_epoch(self) -> None:
+        self.epoch += 1
         for speaker in self.speakers.values():
             speaker.reset_damping()
 
@@ -98,11 +132,25 @@ class BGPSimulator:
     def run(self) -> int:
         """Deliver queued messages to a fixed point; returns event count."""
         delivered = 0
+        warned = False
         while self._queue:
             if delivered >= self._max_events:
                 raise ConvergenceError(
-                    f"no convergence after {delivered} events; "
-                    "likely a policy dispute wheel"
+                    f"no convergence after {delivered} events for "
+                    f"{self._origination_prefix} (epoch {self.epoch}); "
+                    "likely a policy dispute wheel",
+                    prefix=self._origination_prefix,
+                    epoch=self.epoch,
+                    delivered=delivered,
+                )
+            if (
+                not warned
+                and delivered >= self._soft_events
+                and self.on_soft_limit is not None
+            ):
+                warned = True
+                self.on_soft_limit(
+                    self._origination_prefix, self.epoch, delivered
                 )
             target, message = self._queue.popleft()
             self.clock += 1
@@ -112,6 +160,21 @@ class BGPSimulator:
             if best_changed:
                 self._enqueue_exports(target, message.prefix)
         return delivered
+
+    def discard_pending(self) -> int:
+        """Drop all undelivered messages; returns how many were dropped.
+
+        Recovery hook for supervisors: after a :class:`ConvergenceError`
+        the queue still holds the un-converged tail of the epoch, which
+        would otherwise leak into the next origination.  The speakers'
+        RIBs keep whatever state the delivered prefix messages built —
+        exactly like a real network frozen mid-convergence — so the
+        caller should follow up with a withdraw/re-announce to restore
+        a known-good state.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
 
     def _enqueue_exports(self, asn: int, prefix: Prefix) -> None:
         speaker = self.speakers[asn]

@@ -54,6 +54,14 @@ class PreferenceOrderSummary:
     short_only: int = 0
     neither: int = 0
     violations: List[PreferenceViolation] = field(default_factory=list)
+    #: Graded targets whose discovery was censored by a control-plane
+    #: fault: their *partial* preference order is still informative
+    #: (every consecutive pair was genuinely observed) but the order
+    #: may be missing its tail, so they are flagged separately.
+    censored: int = 0
+    #: Censored targets with fewer than two discovered routes — no
+    #: ordering information survived; excluded from ``total_targets``.
+    censored_uninformative: int = 0
 
     def fraction(self, attribute: str) -> float:
         if self.total_targets == 0:
@@ -77,12 +85,23 @@ def classify_preference_orders(
     information and are skipped.  Consecutive pairs whose relationship
     is unknown in the inferred topology do not affect the Best grade
     (the model cannot judge them).
+
+    Censored observations (discovery cut short by a control-plane
+    fault) are graded on their partial order — each consecutive pair
+    was genuinely observed, so the grade is sound even if the order is
+    incomplete — and counted in ``censored``; censored targets without
+    even two routes land in ``censored_uninformative`` instead.
     """
     summary = PreferenceOrderSummary()
     for observation in observations:
         routes = observation.routes
+        censored = getattr(observation, "censored", False)
         if len(routes) < 2:
+            if censored:
+                summary.censored_uninformative += 1
             continue
+        if censored:
+            summary.censored += 1
         summary.total_targets += 1
         best_ok = True
         short_ok = True

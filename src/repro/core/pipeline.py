@@ -48,13 +48,21 @@ from repro.core.geography import (
 from repro.core.looking_glass import LookingGlassDeployment, PSPValidation, validate_psp_cases
 from repro.core.psp import PrefixPolicyAnalysis, PSPCase
 from repro.core.skew import ViolationSkew, compute_skew
-from repro.faults import FaultPlan, MalformedResultError, RetryPolicy, RobustnessReport
+from repro.faults import (
+    ActiveRobustnessReport,
+    FaultPlan,
+    MalformedResultError,
+    RetryPolicy,
+    RobustnessReport,
+)
 from repro.ipmap.geolocation import GeoDatabase
 from repro.ipmap.ip2as import IPToASMapper
 from repro.ipmap.path_conversion import ASLevelPath, convert_traceroute
 from repro.net.ip import Prefix
 from repro.peering.collectors import FeedArchive, default_collectors
 from repro.peering.experiments import (
+    ActiveRunConfig,
+    ActiveSupervisor,
     DiscoveryResult,
     discover_alternate_routes,
     run_magnet_experiments,
@@ -187,6 +195,9 @@ class StudyResults:
     stage_timings: Dict[str, float] = field(default_factory=dict)
     #: Fault/retry/coverage accounting (fault-injected campaigns only).
     robustness: Optional[RobustnessReport] = None
+    #: Per-target/per-round accounting for the active experiments
+    #: (populated whenever the active phase runs).
+    active_robustness: Optional[ActiveRobustnessReport] = None
 
 
 class Study:
@@ -570,23 +581,46 @@ class Study:
                 on_path.update(path[:-1])
         targets = sorted(on_path - {testbed.asn})[: config.max_discovery_targets]
 
-        results.discovery = discover_alternate_routes(
-            testbed,
-            simulator,
-            targets,
-            prefix=discovery_prefix,
-            monitor_asns=vp_asns,
+        # One supervisor spans both active phases: the breaker sees the
+        # control plane as a whole, and a single journal (the passive
+        # checkpoint path plus ".active") covers discovery and magnet
+        # rounds so `--resume` restores the whole active phase.
+        supervisor = ActiveSupervisor(
+            ActiveRunConfig(
+                fault_plan=config.fault_plan,
+                retry=config.retry_policy,
+                checkpoint_path=(
+                    config.checkpoint_path + ".active"
+                    if config.checkpoint_path
+                    else None
+                ),
+                resume=config.resume,
+            )
         )
-        results.preference_summary = classify_preference_orders(
-            results.discovery.observations, inferred
-        )
+        try:
+            results.discovery = discover_alternate_routes(
+                testbed,
+                simulator,
+                targets,
+                prefix=discovery_prefix,
+                monitor_asns=vp_asns,
+                supervisor=supervisor,
+            )
+            results.preference_summary = classify_preference_orders(
+                results.discovery.observations, inferred
+            )
 
-        magnet_feeds = FeedArchive(default_collectors(internet, seed=seed + 9))
-        observations = run_magnet_experiments(
-            testbed,
-            simulator,
-            magnet_feeds,
-            vp_asns=vp_asns,
-        )
-        results.magnet_observations = observations
-        results.magnet_table = infer_magnet_decisions(observations, inferred)
+            magnet_feeds = FeedArchive(default_collectors(internet, seed=seed + 9))
+            observations = run_magnet_experiments(
+                testbed,
+                simulator,
+                magnet_feeds,
+                vp_asns=vp_asns,
+                supervisor=supervisor,
+            )
+            results.magnet_observations = observations
+            results.magnet_table = infer_magnet_decisions(observations, inferred)
+        finally:
+            supervisor.report.withdrawal_losses = testbed.withdrawal_losses
+            results.active_robustness = supervisor.report
+            supervisor.close()

@@ -29,6 +29,35 @@ def run(study: StudyResults) -> ExperimentReport:
         "Shape check: a large majority of targets fall back in "
         "model-consistent order; violations are rare but present."
     )
+    if summary.censored or summary.censored_uninformative:
+        report.add(
+            "censored partial orders graded",
+            None,
+            float(summary.censored),
+            unit="",
+        )
+        report.add(
+            "censored targets without ordering info",
+            None,
+            float(summary.censored_uninformative),
+            unit="",
+        )
+        report.note(
+            "Control-plane faults (poison filtering, path-length "
+            "rejection, exhausted retries) cut some discoveries short. "
+            "Their partial preference orders are graded normally — each "
+            "consecutive route pair was genuinely observed — but the "
+            "orders may be missing their tails, so they are counted "
+            "separately above; censored targets with fewer than two "
+            "routes carry no ordering signal and are excluded from the "
+            "percentage denominators entirely."
+        )
+    if study.active_robustness is not None:
+        quarantined = study.active_robustness.quarantined_total()
+        if quarantined:
+            report.add(
+                "targets quarantined (excluded)", None, float(quarantined), unit=""
+            )
     return report
 
 

@@ -2,17 +2,25 @@
 
 The measurement substrate the paper runs on is lossy: probes go dark,
 DNS fails, traceroutes truncate or loop, the Atlas API throttles, and
-PEERING mux sessions reset.  This package provides the generic pieces
-the campaign and analysis layers use to survive all of that:
+PEERING mux sessions reset.  The control plane the active experiments
+drive is lossy too: poisoned announcements get filtered, long paths get
+rejected, route-flap damping suppresses updates, convergence stalls,
+collector feeds gap, and withdrawals get lost.  This package provides
+the generic pieces the campaign, experiment and analysis layers use to
+survive all of that:
 
 * :class:`FaultPlan` — seeded, hash-keyed deterministic fault injection
   per substrate boundary (:class:`FaultSite`),
 * :class:`RetryPolicy` / :class:`RetryStats` — seeded exponential
   backoff with full jitter on a virtual clock,
+* :class:`CircuitBreaker` / :class:`Watchdog` — supervision primitives
+  that stop an active experiment from hammering a failing control
+  plane (see :mod:`repro.faults.supervisor`),
 * :class:`CheckpointJournal` — append-only JSONL checkpointing with
   torn-tail recovery for resumable campaigns,
-* :class:`RobustnessReport` — full where-did-every-measurement-go
-  accounting, and
+* :class:`RobustnessReport` / :class:`ActiveRobustnessReport` — full
+  where-did-every-measurement-go accounting for the passive campaign
+  and the active experiments, and
 * the structured fault taxonomy in :mod:`repro.faults.errors`.
 
 This package deliberately imports nothing from the measurement layers,
@@ -23,41 +31,62 @@ from repro.faults.errors import (
     ApiRateLimit,
     ApiServerError,
     AtlasApiError,
+    BreakerOpen,
     CampaignInterrupted,
+    CollectorFeedGap,
+    ConvergenceStall,
     DnsServfail,
     DnsTimeout,
     FaultError,
+    LongPathRejected,
     MalformedResultError,
     MuxSessionReset,
+    PoisonFiltered,
     ProbeDownError,
     ProbeFlapError,
     RetryExhausted,
+    RouteFlapDamped,
+    WatchdogExpired,
+    WithdrawalLost,
 )
 from repro.faults.journal import CheckpointJournal, JournalCorrupted, pair_key
 from repro.faults.plan import FaultPlan, FaultSite, derive_seed
-from repro.faults.report import RobustnessReport
+from repro.faults.report import ActiveRobustnessReport, RobustnessReport
 from repro.faults.retry import RetryPolicy, RetryStats
+from repro.faults.supervisor import BreakerStats, CircuitBreaker, Watchdog
 
 __all__ = [
+    "ActiveRobustnessReport",
     "ApiRateLimit",
     "ApiServerError",
     "AtlasApiError",
+    "BreakerOpen",
+    "BreakerStats",
     "CampaignInterrupted",
     "CheckpointJournal",
+    "CircuitBreaker",
+    "CollectorFeedGap",
+    "ConvergenceStall",
     "DnsServfail",
     "DnsTimeout",
     "FaultError",
     "FaultPlan",
     "FaultSite",
     "JournalCorrupted",
+    "LongPathRejected",
     "MalformedResultError",
     "MuxSessionReset",
+    "PoisonFiltered",
     "ProbeDownError",
     "ProbeFlapError",
     "RetryExhausted",
     "RetryPolicy",
     "RetryStats",
     "RobustnessReport",
+    "RouteFlapDamped",
+    "Watchdog",
+    "WatchdogExpired",
+    "WithdrawalLost",
     "derive_seed",
     "pair_key",
 ]

@@ -134,6 +134,138 @@ class MuxSessionReset(FaultError):
         return "mux-session-reset"
 
 
+class PoisonFiltered(FaultError):
+    """An intermediate AS filtered the poisoned announcement.
+
+    Smith et al. document transit ASes dropping announcements whose
+    AS-path carries unexpected AS-sets; the filter is a standing policy,
+    so the same poison set fails every attempt.  Keyed per
+    (target, round) — persistent — so retries exhaust and the target's
+    discovery ends with a *censored* partial preference order.
+    """
+
+    site = "bgp/poison"
+    retryable = True
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "poison-filtered"
+
+
+class LongPathRejected(FaultError):
+    """A transit AS rejected the announcement for an over-long AS path.
+
+    Iterative poisoning grows the path by one AS-set member per round;
+    real networks enforce maximum-length import filters, so deep
+    iterations stop being propagatable.  Non-retryable: the path only
+    gets longer from here.
+    """
+
+    site = "bgp/poison"
+    retryable = False
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "long-path-rejected"
+
+
+class RouteFlapDamped(FaultError):
+    """Route-flap damping suppressed the announcement at an upstream.
+
+    The paper spaces announcements 90 minutes apart precisely to dodge
+    this; when it fires anyway the suppression decays, so a (virtual)
+    backoff retry can succeed.  Keyed per attempt — transient.
+    """
+
+    site = "bgp/announce"
+    retryable = True
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "route-flap-damped"
+
+
+class ConvergenceStall(FaultError):
+    """The control plane failed to settle within the observation window.
+
+    Models slow convergence (path hunting, MRAI timers) rather than a
+    true dispute wheel: waiting and re-announcing can succeed, so the
+    fault is transient/retryable.  A genuine
+    :class:`repro.bgp.simulator.ConvergenceError` (hard event-budget
+    blowout) is *not* retryable and quarantines the target instead.
+    """
+
+    site = "bgp/announce"
+    retryable = True
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "convergence-stall"
+
+
+class CollectorFeedGap(FaultError):
+    """The route collectors produced no feed for this observation round.
+
+    RouteViews/RIS dumps arrive on a schedule and sometimes not at all;
+    the magnet round still happened, so the observation is kept but its
+    feed channel is censored rather than the round re-run.
+    """
+
+    site = "peering/collectors"
+    retryable = False
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "feed-gap"
+
+
+class WithdrawalLost(FaultError):
+    """A mux lost the withdrawal message; the prefix stayed announced.
+
+    Dangerous in the real world (the testbed keeps polluting the
+    control plane), so the supervisor retries until the withdrawal is
+    confirmed.  Keyed per attempt — transient.
+    """
+
+    site = "peering/testbed"
+    retryable = True
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "withdrawal-lost"
+
+
+class BreakerOpen(FaultError):
+    """The supervisor's circuit breaker rejected the operation.
+
+    Raised instead of attempting an announcement while the breaker is
+    open; the current target is quarantined rather than retried (the
+    breaker exists to stop hammering a failing control plane).
+    """
+
+    site = "supervisor"
+    retryable = False
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "breaker-open"
+
+
+class WatchdogExpired(FaultError):
+    """A target exhausted its per-target announcement budget.
+
+    Bounds how much testbed time one pathological target can burn; the
+    routes discovered so far are kept as a censored partial order.
+    """
+
+    site = "supervisor"
+    retryable = False
+
+    @classmethod
+    def default_reason(cls) -> str:
+        return "watchdog-budget"
+
+
 class MalformedResultError(FaultError, ValueError):
     """A result document that cannot be parsed into a traceroute.
 

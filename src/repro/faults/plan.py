@@ -36,6 +36,13 @@ class FaultSite(str, Enum):
     API_RATE_LIMIT = "atlas/api:rate-limit"
     API_SERVER_ERROR = "atlas/api:server-error"
     MUX_RESET = "peering/testbed:session-reset"
+    # Active control-plane sites (poisoning / magnet experiments).
+    POISON_FILTERED = "bgp/poison:filtered"
+    LONG_PATH_REJECTED = "bgp/poison:long-path"
+    ROUTE_FLAP_DAMPING = "bgp/announce:damping"
+    CONVERGENCE_STALL = "bgp/announce:stall"
+    COLLECTOR_FEED_GAP = "peering/collectors:feed-gap"
+    MUX_WITHDRAWAL_LOSS = "peering/testbed:withdrawal-loss"
 
 
 _SITE_BY_VALUE = {site.value: site for site in FaultSite}

@@ -15,9 +15,13 @@ from repro.peering.schedule import (
     ExperimentSchedule,
     schedule_discovery,
     schedule_magnet_rounds,
+    schedule_supervised_run,
 )
 from repro.peering.experiments import (
+    ActiveRunConfig,
+    ActiveSupervisor,
     AlternateRouteObservation,
+    DiscoveryResult,
     MagnetObservation,
     discover_alternate_routes,
     run_magnet_experiments,
@@ -34,7 +38,11 @@ __all__ = [
     "ExperimentSchedule",
     "schedule_discovery",
     "schedule_magnet_rounds",
+    "schedule_supervised_run",
+    "ActiveRunConfig",
+    "ActiveSupervisor",
     "AlternateRouteObservation",
+    "DiscoveryResult",
     "MagnetObservation",
     "discover_alternate_routes",
     "run_magnet_experiments",

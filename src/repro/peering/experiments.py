@@ -15,20 +15,318 @@ Both drivers record what real monitoring would see: RIB views at
 targets, collector feed paths, and the AS paths from traceroute vantage
 points — the analysis in :mod:`repro.core.active_analysis` consumes
 only these observations.
+
+Both drivers are *supervised*: an :class:`ActiveSupervisor` owns the
+fault plan (poison filtering, long-path rejection, route-flap damping,
+convergence stalls, collector feed gaps, withdrawal loss), a
+:class:`~repro.faults.CircuitBreaker` over announcement operations, a
+per-target :class:`~repro.faults.Watchdog` budget, and a
+:class:`~repro.faults.CheckpointJournal` so a killed run resumes
+byte-identically.  A fault that cuts discovery short *censors* the
+target (its partial preference order is kept and flagged); a control
+plane that fails hard — a :class:`~repro.bgp.simulator.ConvergenceError`
+or an open breaker — *quarantines* it.  Every target lands in exactly
+one disposition, accounted by
+:class:`~repro.faults.ActiveRobustnessReport`.
+
+Announcement state restoration always runs in ``finally`` paths: no
+exit from a driver — fault, kill drill, or ``KeyboardInterrupt`` —
+leaves the testbed announcing a poisoned prefix.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.decision import DecisionStep
-from repro.bgp.simulator import BGPSimulator
+from repro.bgp.simulator import BGPSimulator, ConvergenceError
+from repro.faults import (
+    ActiveRobustnessReport,
+    BreakerOpen,
+    CampaignInterrupted,
+    CheckpointJournal,
+    CircuitBreaker,
+    ConvergenceStall,
+    FaultError,
+    FaultPlan,
+    FaultSite,
+    LongPathRejected,
+    PoisonFiltered,
+    RetryExhausted,
+    RetryPolicy,
+    RouteFlapDamped,
+    Watchdog,
+    WatchdogExpired,
+    pair_key,
+)
 from repro.net.ip import Prefix
 from repro.peering.collectors import FeedArchive
 from repro.peering.testbed import PeeringTestbed
 
 PathSeq = Tuple[int, ...]
+
+#: Journal unit names (the ``name`` half of a journal pair key).
+DISCOVERY_UNIT = "discovery"
+MAGNET_UNIT = "magnet"
+
+#: Disposition values, shared with the journal records.
+COMPLETED = "completed"
+CENSORED = "censored"
+QUARANTINED = "quarantined"
+
+
+# ---------------------------------------------------------------------------
+# Supervision
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ActiveRunConfig:
+    """Supervision knobs for one active-experiment phase.
+
+    The defaults describe a disarmed supervisor: no faults, no journal,
+    a breaker that never sees a failure, and a watchdog budget well
+    above what an unfaulted target can spend.
+    """
+
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    #: Consecutive announcement failures that trip the breaker.
+    breaker_threshold: int = 3
+    #: Operations the breaker stays open for before half-opening.
+    breaker_cooldown: int = 4
+    #: Per-target announcement budget (baseline + poison rounds).
+    watchdog_budget: int = 24
+    #: Poison sets at least this large are exposed to long-path filters.
+    long_path_limit: int = 6
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    #: Crash drill: kill the run after N newly finalized units.
+    abort_after: Optional[int] = None
+
+    def wants_resilience(self) -> bool:
+        return self.fault_plan is not None or self.checkpoint_path is not None
+
+
+class ActiveSupervisor:
+    """Shared supervision state for one active phase (both drivers).
+
+    Owns the fault plan, retry policy, circuit breaker, robustness
+    report and checkpoint journal.  ``Study._run_active`` threads one
+    supervisor through discovery *and* the magnet rounds so the breaker
+    sees the control plane as a whole and a single journal covers the
+    phase.
+    """
+
+    def __init__(self, config: Optional[ActiveRunConfig] = None) -> None:
+        self.config = config or ActiveRunConfig()
+        self.plan = self.config.fault_plan or FaultPlan.none()
+        self.retry = self.config.retry or RetryPolicy(seed=self.plan.seed)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self.report = ActiveRobustnessReport()
+        self.report.breaker = self.breaker.stats
+        self.journal: Optional[CheckpointJournal] = None
+        self.journaled: Dict[Tuple[int, str], Dict] = {}
+        self._finalized_this_run = 0
+        self._soft_fired = False
+        self._open_journal()
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def _header(self) -> Dict:
+        return {"phase": "active", "plan_fingerprint": self.plan.fingerprint()}
+
+    def _open_journal(self) -> None:
+        if self.config.checkpoint_path is None:
+            return
+        journal = CheckpointJournal(self.config.checkpoint_path)
+        if self.config.resume and journal.exists():
+            header, records = journal.load()
+            expected = self._header()
+            if header is not None and header.get("plan_fingerprint") != expected[
+                "plan_fingerprint"
+            ]:
+                raise ValueError(
+                    f"active checkpoint {self.config.checkpoint_path} was "
+                    "written under a different fault plan; refusing to resume"
+                )
+            self.journaled = {pair_key(record): record for record in records}
+            if records:
+                snapshot = records[-1].get("breaker")
+                if snapshot:
+                    # The breaker is sequential state shared across
+                    # targets; restoring the journaled snapshot keeps a
+                    # resumed run byte-identical to an uninterrupted one.
+                    self.breaker.restore(snapshot)
+                    self.report.breaker = self.breaker.stats
+        fresh = not journal.exists()
+        journal.open_append()
+        if fresh:
+            journal.write_header(self._header())
+        self.journal = journal
+
+    def resume_record(self, unit: str, key: int) -> Optional[Dict]:
+        return self.journaled.get((key, unit))
+
+    def finalize(self, unit: str, key: int, record: Dict) -> None:
+        """Journal one finalized unit; may raise the kill drill."""
+        if self.journal is not None:
+            line = dict(record)
+            line["probe"] = key
+            line["name"] = unit
+            line["breaker"] = self.breaker.as_dict()
+            self.journal.append(line)
+        self._finalized_this_run += 1
+        if (
+            self.config.abort_after is not None
+            and self._finalized_this_run >= self.config.abort_after
+        ):
+            self.close()
+            raise CampaignInterrupted(
+                f"active run killed after {self._finalized_this_run} "
+                "finalized unit(s)",
+                completed_pairs=self._finalized_this_run,
+            )
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Soft-limit wiring
+    # ------------------------------------------------------------------
+    def _on_soft_limit(self, prefix, epoch, delivered) -> None:
+        """Simulator soft-limit hook: count it against the breaker.
+
+        A convergence run that crosses the soft event limit is a
+        near-miss; repeated near-misses should trip the breaker before
+        the hard :class:`ConvergenceError` ever fires.
+        """
+        self.report.soft_limit_warnings += 1
+        self._soft_fired = True
+        self.breaker.record_failure()
+
+    @contextmanager
+    def supervising(self, simulator: BGPSimulator):
+        """Install the soft-limit hook for the duration of a driver."""
+        previous = simulator.on_soft_limit
+        simulator.on_soft_limit = self._on_soft_limit
+        try:
+            yield
+        finally:
+            simulator.on_soft_limit = previous
+
+    # ------------------------------------------------------------------
+    # Supervised operations
+    # ------------------------------------------------------------------
+    def announce(
+        self,
+        testbed: PeeringTestbed,
+        simulator: BGPSimulator,
+        prefix: Prefix,
+        *,
+        key: Tuple,
+        poisoned: Iterable[int] = (),
+        muxes: Optional[Iterable[int]] = None,
+        watchdog: Optional[Watchdog] = None,
+    ) -> None:
+        """One supervised announcement: breaker gate, faults, retries.
+
+        Fault keys derive from the *logical* identity of the
+        announcement (unit, target, round), never from global operation
+        counts, so skipping journaled work on resume cannot perturb the
+        faults the remaining work sees.
+        """
+        self.breaker.check("announcement")
+        if watchdog is not None:
+            watchdog.charge()
+        plan = self.plan
+        poison_set = frozenset(poisoned)
+
+        def attempt(attempt_no: int) -> None:
+            # Standing filters are keyed per announcement identity
+            # (persistent: retries exhaust); damping and stalls include
+            # the attempt number (transient: retries can clear).
+            if poison_set and plan.fires(FaultSite.POISON_FILTERED, *key):
+                raise PoisonFiltered(
+                    f"intermediate AS filtered poisoned announcement {key}"
+                )
+            if (
+                len(poison_set) >= self.config.long_path_limit
+                and plan.fires(FaultSite.LONG_PATH_REJECTED, *key)
+            ):
+                raise LongPathRejected(
+                    f"{len(poison_set)}-AS poison set rejected by a "
+                    f"maximum-path-length import filter ({key})"
+                )
+            if plan.fires(FaultSite.ROUTE_FLAP_DAMPING, *key, attempt_no):
+                self.report.damping_events += 1
+                raise RouteFlapDamped(
+                    f"announcement {key} suppressed by route-flap damping "
+                    f"(attempt {attempt_no})"
+                )
+            if plan.fires(FaultSite.CONVERGENCE_STALL, *key, attempt_no):
+                raise ConvergenceStall(
+                    f"announcement {key} did not settle in the observation "
+                    f"window (attempt {attempt_no})"
+                )
+            testbed.announce(simulator, prefix, muxes=muxes, poisoned=poison_set)
+
+        self._soft_fired = False
+        try:
+            self.retry.execute(attempt, key=key, stats=self.report.retry)
+        except ConvergenceError:
+            self.breaker.record_failure()
+            raise
+        except FaultError:
+            self.breaker.record_failure()
+            raise
+        else:
+            self.report.announcements += 1
+            if not self._soft_fired:
+                self.breaker.record_success()
+
+    def withdraw(
+        self, testbed: PeeringTestbed, simulator: BGPSimulator, prefix: Prefix
+    ) -> None:
+        """Supervised withdrawal (loss injection lives in the testbed)."""
+        testbed.withdraw(simulator, prefix)
+        self.report.withdrawals += 1
+
+
+def _restore_unpoisoned(
+    testbed: PeeringTestbed, simulator: BGPSimulator, prefix: Prefix
+) -> None:
+    """Leave ``prefix`` cleanly announced — or withdrawn, never poisoned.
+
+    Runs in ``finally`` paths, so it must succeed even when the run is
+    escaping on a fault: pending messages from an aborted epoch are
+    discarded, a lost withdrawal falls back to the out-of-band
+    :meth:`~repro.peering.testbed.PeeringTestbed.force_withdraw`, and a
+    clean re-announcement that itself fails downgrades to a withdrawn
+    (still unpoisoned) testbed.
+    """
+    simulator.discard_pending()
+    try:
+        testbed.withdraw(simulator, prefix)
+    except FaultError:
+        testbed.force_withdraw(simulator, prefix)
+    try:
+        testbed.announce(simulator, prefix, poisoned=())
+    except (FaultError, ConvergenceError):
+        simulator.discard_pending()
+        testbed.force_withdraw(simulator, prefix)
+
+
+# ---------------------------------------------------------------------------
+# Observations
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -52,6 +350,10 @@ class AlternateRouteObservation:
     routes: List[RouteView] = field(default_factory=list)
     #: Poison sets used, one per announcement round after the first.
     poison_rounds: List[FrozenSet[int]] = field(default_factory=list)
+    #: Discovery ended early on a control-plane fault: ``routes`` is a
+    #: *censored* partial preference order, not a complete one.
+    censored: bool = False
+    censor_reason: Optional[str] = None
 
 
 @dataclass
@@ -65,6 +367,8 @@ class DiscoveryResult:
     observed_links: Set[Tuple[int, int]]
     #: Links observed only while some AS was poisoned.
     poisoned_only_links: Set[Tuple[int, int]]
+    #: target ASN -> disposition (completed / censored / quarantined).
+    dispositions: Dict[int, str] = field(default_factory=dict)
 
 
 def _links_of_path(path: Sequence[int]) -> Set[Tuple[int, int]]:
@@ -87,6 +391,34 @@ def _monitored_links(
     return links
 
 
+# ---------------------------------------------------------------------------
+# Journal (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _route_view_to_json(view: RouteView) -> List:
+    return [view.next_hop, list(view.path)]
+
+
+def _route_view_from_json(data) -> RouteView:
+    return RouteView(
+        next_hop=int(data[0]), path=tuple(int(asn) for asn in data[1])
+    )
+
+
+def _links_to_json(links: Set[Tuple[int, int]]) -> List[List[int]]:
+    return sorted([a, b] for a, b in links)
+
+
+def _links_from_json(data) -> Set[Tuple[int, int]]:
+    return {(int(a), int(b)) for a, b in data}
+
+
+# ---------------------------------------------------------------------------
+# Alternate-route discovery
+# ---------------------------------------------------------------------------
+
+
 def discover_alternate_routes(
     testbed: PeeringTestbed,
     simulator: BGPSimulator,
@@ -94,58 +426,207 @@ def discover_alternate_routes(
     prefix: Optional[Prefix] = None,
     monitor_asns: Sequence[int] = (),
     max_rounds: int = 10,
+    supervisor: Optional[ActiveSupervisor] = None,
 ) -> DiscoveryResult:
-    """Run iterative poisoning against each target AS.
+    """Run supervised iterative poisoning against each target AS.
 
     ``monitor_asns`` are the traceroute vantage points whose paths
     contribute to the observed-link accounting; the targets' own RIB
     views (what BGP feeds from them would show) contribute as well.
+
+    Every target's discovery starts from a withdrawn-then-reannounced
+    prefix, so each target's result is a pure function of the topology
+    and the fault plan, independent of which targets ran before it —
+    the property that makes journal resumption byte-identical.
     """
     prefix = prefix or testbed.prefixes[0]
+    supervisor = supervisor or ActiveSupervisor()
+    report = supervisor.report
+    monitors = list(monitor_asns)
     observations: List[AlternateRouteObservation] = []
+    dispositions: Dict[int, str] = {}
     announcement_configs: Set[FrozenSet[int]] = set()
     observed_links: Set[Tuple[int, int]] = set()
     baseline_links: Set[Tuple[int, int]] = set()
     poisoned_links: Set[Tuple[int, int]] = set()
 
-    for target in targets:
-        observation = AlternateRouteObservation(target=target)
-        poisoned: Set[int] = set()
-        testbed.announce(simulator, prefix, poisoned=())
-        announcement_configs.add(frozenset())
-        baseline_links.update(
-            _monitored_links(simulator, prefix, list(monitor_asns) + [target])
-        )
-        for _ in range(max_rounds):
-            route = simulator.best_route(target, prefix)
-            if route is None or route.learned_from == target:
-                break
-            next_hop = route.learned_from
-            observation.routes.append(
-                RouteView(next_hop=next_hop, path=route.as_path.sequence())
-            )
-            if next_hop == testbed.asn:
-                break
-            poisoned.add(next_hop)
-            config = frozenset(poisoned)
-            observation.poison_rounds.append(config)
-            announcement_configs.add(config)
-            testbed.announce(simulator, prefix, poisoned=poisoned)
-            round_links = _monitored_links(
-                simulator, prefix, list(monitor_asns) + [target]
-            )
-            observed_links.update(round_links)
-            poisoned_links.update(round_links)
-        observations.append(observation)
+    with supervisor.supervising(simulator):
+        try:
+            for target in targets:
+                report.expect_target()
+                record = supervisor.resume_record(DISCOVERY_UNIT, target)
+                if record is not None:
+                    _replay_discovery_record(
+                        record,
+                        report,
+                        observations,
+                        dispositions,
+                        announcement_configs,
+                        baseline_links,
+                        observed_links,
+                        poisoned_links,
+                    )
+                    continue
+
+                observation = AlternateRouteObservation(target=target)
+                watchdog = Watchdog(supervisor.config.watchdog_budget)
+                status, reason = COMPLETED, None
+                baseline_ok = False
+                target_baseline: Set[Tuple[int, int]] = set()
+                target_links: Set[Tuple[int, int]] = set()
+                poisoned: Set[int] = set()
+                try:
+                    # Reset the prefix to a history-independent state.
+                    supervisor.withdraw(testbed, simulator, prefix)
+                    supervisor.announce(
+                        testbed,
+                        simulator,
+                        prefix,
+                        key=(DISCOVERY_UNIT, target, "baseline"),
+                        watchdog=watchdog,
+                    )
+                    baseline_ok = True
+                    announcement_configs.add(frozenset())
+                    target_baseline = _monitored_links(
+                        simulator, prefix, monitors + [target]
+                    )
+                    for round_no in range(max_rounds):
+                        route = simulator.best_route(target, prefix)
+                        if route is None or route.learned_from == target:
+                            break
+                        next_hop = route.learned_from
+                        observation.routes.append(
+                            RouteView(
+                                next_hop=next_hop, path=route.as_path.sequence()
+                            )
+                        )
+                        if next_hop == testbed.asn:
+                            break
+                        poisoned.add(next_hop)
+                        config = frozenset(poisoned)
+                        supervisor.announce(
+                            testbed,
+                            simulator,
+                            prefix,
+                            poisoned=poisoned,
+                            key=(DISCOVERY_UNIT, target, round_no),
+                            watchdog=watchdog,
+                        )
+                        observation.poison_rounds.append(config)
+                        announcement_configs.add(config)
+                        target_links.update(
+                            _monitored_links(
+                                simulator, prefix, monitors + [target]
+                            )
+                        )
+                except (RetryExhausted, LongPathRejected, WatchdogExpired) as error:
+                    # The control plane refused to go deeper; what was
+                    # discovered so far is a valid partial order.
+                    status, reason = CENSORED, error.reason
+                except BreakerOpen as error:
+                    status, reason = QUARANTINED, error.reason
+                except ConvergenceError:
+                    # The epoch never converged: the observed routes for
+                    # this target may reflect a half-propagated network.
+                    report.convergence_failures += 1
+                    status, reason = QUARANTINED, "convergence-error"
+                    simulator.discard_pending()
+
+                dispositions[target] = status
+                if status == QUARANTINED:
+                    report.record_quarantined(reason)
+                elif status == CENSORED:
+                    observation.censored = True
+                    observation.censor_reason = reason
+                    observations.append(observation)
+                    report.record_censored(reason)
+                else:
+                    observations.append(observation)
+                    report.record_completed()
+                baseline_links.update(target_baseline)
+                observed_links.update(target_links)
+                poisoned_links.update(target_links)
+                supervisor.finalize(
+                    DISCOVERY_UNIT,
+                    target,
+                    {
+                        "status": status,
+                        "reason": reason,
+                        "baseline_ok": baseline_ok,
+                        "routes": [
+                            _route_view_to_json(view)
+                            for view in observation.routes
+                        ],
+                        "poison_rounds": [
+                            sorted(poison) for poison in observation.poison_rounds
+                        ],
+                        "baseline_links": _links_to_json(target_baseline),
+                        "round_links": _links_to_json(target_links),
+                    },
+                )
+        finally:
+            # No escape — fault, kill drill, KeyboardInterrupt — leaves
+            # the testbed announcing a poisoned prefix.
+            _restore_unpoisoned(testbed, simulator, prefix)
+
     observed_links.update(baseline_links)
-    # Restore the unpoisoned announcement for whoever runs next.
-    testbed.announce(simulator, prefix, poisoned=())
     return DiscoveryResult(
         observations=observations,
         distinct_announcements=len(announcement_configs),
         observed_links=observed_links,
         poisoned_only_links=poisoned_links - baseline_links,
+        dispositions=dispositions,
     )
+
+
+def _replay_discovery_record(
+    record: Dict,
+    report: ActiveRobustnessReport,
+    observations: List[AlternateRouteObservation],
+    dispositions: Dict[int, str],
+    announcement_configs: Set[FrozenSet[int]],
+    baseline_links: Set[Tuple[int, int]],
+    observed_links: Set[Tuple[int, int]],
+    poisoned_links: Set[Tuple[int, int]],
+) -> None:
+    """Restore one journaled target without touching the testbed."""
+    target = int(record["probe"])
+    status = record.get("status", COMPLETED)
+    reason = record.get("reason")
+    report.resumed_targets += 1
+    dispositions[target] = status
+    poison_rounds = [
+        frozenset(int(asn) for asn in poison)
+        for poison in record.get("poison_rounds", [])
+    ]
+    if record.get("baseline_ok"):
+        announcement_configs.add(frozenset())
+    announcement_configs.update(poison_rounds)
+    target_baseline = _links_from_json(record.get("baseline_links", []))
+    target_links = _links_from_json(record.get("round_links", []))
+    baseline_links.update(target_baseline)
+    observed_links.update(target_links)
+    poisoned_links.update(target_links)
+    if status == QUARANTINED:
+        report.record_quarantined(reason or "quarantined")
+        return
+    observation = AlternateRouteObservation(
+        target=target,
+        routes=[_route_view_from_json(view) for view in record.get("routes", [])],
+        poison_rounds=poison_rounds,
+        censored=(status == CENSORED),
+        censor_reason=reason if status == CENSORED else None,
+    )
+    observations.append(observation)
+    if status == CENSORED:
+        report.record_censored(reason or "censored")
+    else:
+        report.record_completed()
+
+
+# ---------------------------------------------------------------------------
+# Magnet / anycast experiments
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -163,6 +644,10 @@ class MagnetObservation:
     feed_visible: FrozenSet[int] = frozenset()
     #: ASes whose decisions are visible via vantage-point traceroutes.
     vp_visible: FrozenSet[int] = frozenset()
+    #: A fault blinded one observation channel for this round (e.g. a
+    #: collector feed gap); the remaining channels are still usable.
+    censored: bool = False
+    censor_reason: Optional[str] = None
 
 
 def _route_views(simulator: BGPSimulator, prefix: Prefix) -> Dict[int, RouteView]:
@@ -188,45 +673,188 @@ def _path_visibility(
     return frozenset(visible)
 
 
+def _magnet_observation_to_json(observation: MagnetObservation) -> Dict:
+    return {
+        "magnet_mux": observation.magnet_mux,
+        "prefix": str(observation.prefix),
+        "magnet_routes": {
+            str(asn): _route_view_to_json(view)
+            for asn, view in sorted(observation.magnet_routes.items())
+        },
+        "anycast_routes": {
+            str(asn): _route_view_to_json(view)
+            for asn, view in sorted(observation.anycast_routes.items())
+        },
+        "truth_decision_steps": {
+            str(asn): step.name
+            for asn, step in sorted(observation.truth_decision_steps.items())
+        },
+        "feed_visible": sorted(observation.feed_visible),
+        "vp_visible": sorted(observation.vp_visible),
+        "censored": observation.censored,
+        "censor_reason": observation.censor_reason,
+    }
+
+
+def _magnet_observation_from_json(data: Dict) -> MagnetObservation:
+    return MagnetObservation(
+        magnet_mux=int(data["magnet_mux"]),
+        prefix=Prefix.parse(data["prefix"]),
+        magnet_routes={
+            int(asn): _route_view_from_json(view)
+            for asn, view in data.get("magnet_routes", {}).items()
+        },
+        anycast_routes={
+            int(asn): _route_view_from_json(view)
+            for asn, view in data.get("anycast_routes", {}).items()
+        },
+        truth_decision_steps={
+            int(asn): DecisionStep[name]
+            for asn, name in data.get("truth_decision_steps", {}).items()
+        },
+        feed_visible=frozenset(
+            int(asn) for asn in data.get("feed_visible", [])
+        ),
+        vp_visible=frozenset(int(asn) for asn in data.get("vp_visible", [])),
+        censored=bool(data.get("censored", False)),
+        censor_reason=data.get("censor_reason"),
+    )
+
+
 def run_magnet_experiments(
     testbed: PeeringTestbed,
     simulator: BGPSimulator,
     feeds: FeedArchive,
     vp_asns: Sequence[int] = (),
     prefix: Optional[Prefix] = None,
+    supervisor: Optional[ActiveSupervisor] = None,
 ) -> List[MagnetObservation]:
-    """Use each mux as the magnet once (paper Section 3.2).
+    """Use each mux as the magnet once (paper Section 3.2), supervised.
 
     For every round: withdraw, announce via the magnet only (routes
     arrive and age), then anycast via all muxes and record who moved.
+    A collector feed gap censors the round's feed channel (the
+    traceroute channel survives); an announcement failure or an open
+    breaker quarantines the round.  Each round starts from a withdrawn
+    prefix, so journaled rounds can be skipped on resume without
+    perturbing the rest.
     """
     prefix = prefix or testbed.prefixes[-1]
+    supervisor = supervisor or ActiveSupervisor()
+    report = supervisor.report
     observations: List[MagnetObservation] = []
-    for mux in testbed.muxes:
-        testbed.withdraw(simulator, prefix)
-        testbed.announce(simulator, prefix, muxes=[mux.host_asn])
-        magnet_routes = _route_views(simulator, prefix)
-        testbed.announce(simulator, prefix)  # anycast from all muxes
-        feeds.record(simulator, [prefix])
-        anycast_routes = _route_views(simulator, prefix)
-        truth_steps = {
-            asn: simulator.decision_step(asn, prefix)
-            for asn in anycast_routes
-            if simulator.decision_step(asn, prefix) is not None
-        }
-        feed_peers = {
-            peer for collector in feeds.collectors for peer in collector.peer_asns
-        }
-        observations.append(
-            MagnetObservation(
-                magnet_mux=mux.host_asn,
-                prefix=prefix,
-                magnet_routes=magnet_routes,
-                anycast_routes=anycast_routes,
-                truth_decision_steps=truth_steps,
-                feed_visible=_path_visibility(simulator, prefix, feed_peers),
-                vp_visible=_path_visibility(simulator, prefix, vp_asns),
-            )
-        )
-    testbed.withdraw(simulator, prefix)
+
+    with supervisor.supervising(simulator):
+        try:
+            for mux in testbed.muxes:
+                report.expect_magnet_round()
+                record = supervisor.resume_record(MAGNET_UNIT, mux.host_asn)
+                if record is not None:
+                    report.resumed_magnet_rounds += 1
+                    status = record.get("status", COMPLETED)
+                    reason = record.get("reason")
+                    if status == QUARANTINED:
+                        report.record_magnet_quarantined(reason or "quarantined")
+                    else:
+                        observations.append(
+                            _magnet_observation_from_json(record["observation"])
+                        )
+                        if status == CENSORED:
+                            report.record_magnet_censored(reason or "censored")
+                        else:
+                            report.record_magnet_completed()
+                    continue
+
+                watchdog = Watchdog(supervisor.config.watchdog_budget)
+                status, reason = COMPLETED, None
+                observation: Optional[MagnetObservation] = None
+                try:
+                    supervisor.withdraw(testbed, simulator, prefix)
+                    supervisor.announce(
+                        testbed,
+                        simulator,
+                        prefix,
+                        muxes=[mux.host_asn],
+                        key=(MAGNET_UNIT, mux.host_asn, "magnet"),
+                        watchdog=watchdog,
+                    )
+                    magnet_routes = _route_views(simulator, prefix)
+                    supervisor.announce(
+                        testbed,
+                        simulator,
+                        prefix,
+                        key=(MAGNET_UNIT, mux.host_asn, "anycast"),
+                        watchdog=watchdog,
+                    )
+                    feed_gap = supervisor.plan.fires(
+                        FaultSite.COLLECTOR_FEED_GAP, MAGNET_UNIT, mux.host_asn
+                    )
+                    if feed_gap:
+                        report.feed_gaps += 1
+                        status, reason = CENSORED, "feed-gap"
+                    else:
+                        feeds.record(simulator, [prefix])
+                    anycast_routes = _route_views(simulator, prefix)
+                    truth_steps = {
+                        asn: simulator.decision_step(asn, prefix)
+                        for asn in anycast_routes
+                        if simulator.decision_step(asn, prefix) is not None
+                    }
+                    feed_peers = {
+                        peer
+                        for collector in feeds.collectors
+                        for peer in collector.peer_asns
+                    }
+                    observation = MagnetObservation(
+                        magnet_mux=mux.host_asn,
+                        prefix=prefix,
+                        magnet_routes=magnet_routes,
+                        anycast_routes=anycast_routes,
+                        truth_decision_steps=truth_steps,
+                        feed_visible=(
+                            frozenset()
+                            if feed_gap
+                            else _path_visibility(simulator, prefix, feed_peers)
+                        ),
+                        vp_visible=_path_visibility(simulator, prefix, vp_asns),
+                        censored=feed_gap,
+                        censor_reason="feed-gap" if feed_gap else None,
+                    )
+                except (RetryExhausted, LongPathRejected, WatchdogExpired) as error:
+                    status, reason = QUARANTINED, error.reason
+                except BreakerOpen as error:
+                    status, reason = QUARANTINED, error.reason
+                except ConvergenceError:
+                    report.convergence_failures += 1
+                    status, reason = QUARANTINED, "convergence-error"
+                    simulator.discard_pending()
+
+                if status == QUARANTINED:
+                    report.record_magnet_quarantined(reason)
+                else:
+                    assert observation is not None
+                    observations.append(observation)
+                    if status == CENSORED:
+                        report.record_magnet_censored(reason)
+                    else:
+                        report.record_magnet_completed()
+                supervisor.finalize(
+                    MAGNET_UNIT,
+                    mux.host_asn,
+                    {
+                        "status": status,
+                        "reason": reason,
+                        "observation": (
+                            None
+                            if observation is None
+                            else _magnet_observation_to_json(observation)
+                        ),
+                    },
+                )
+        finally:
+            simulator.discard_pending()
+            try:
+                testbed.withdraw(simulator, prefix)
+            except FaultError:
+                testbed.force_withdraw(simulator, prefix)
     return observations

@@ -23,6 +23,7 @@ from repro.faults import (
     MuxSessionReset,
     RetryPolicy,
     RetryStats,
+    WithdrawalLost,
 )
 from repro.net.ip import Prefix, PrefixAllocator
 from repro.topogen.internet import Interconnect, Internet
@@ -73,6 +74,7 @@ class PeeringTestbed:
             retry = RetryPolicy(seed=seed)
         self._retry = retry
         self.session_resets = 0
+        self.withdrawal_losses = 0
         self.retry_stats = RetryStats()
         self._install()
 
@@ -237,5 +239,40 @@ class PeeringTestbed:
             attempt(1)
 
     def withdraw(self, simulator: BGPSimulator, prefix: Prefix) -> None:
+        """Withdraw ``prefix`` from all muxes.
+
+        With a fault plan installed a mux can lose the withdrawal
+        (:class:`WithdrawalLost`) — the prefix would stay announced for
+        whoever runs next, the failure mode active experiments must
+        never leak.  A retry policy re-sends until confirmed; without
+        one the loss propagates to the caller.
+        """
+
+        def attempt(attempt_no: int) -> None:
+            if self._fault_plan is not None and self._fault_plan.fires(
+                FaultSite.MUX_WITHDRAWAL_LOSS, str(prefix), attempt_no
+            ):
+                self.withdrawal_losses += 1
+                raise WithdrawalLost(
+                    f"mux lost withdrawal of {prefix} (attempt {attempt_no})"
+                )
+            simulator.withdraw(self.asn, prefix)
+            self.internet.policies[self.asn].selective_export.pop(prefix, None)
+
+        if self._retry is not None:
+            self._retry.execute(
+                attempt, key=("withdraw", str(prefix)), stats=self.retry_stats
+            )
+        else:
+            attempt(1)
+
+    def force_withdraw(self, simulator: BGPSimulator, prefix: Prefix) -> None:
+        """Out-of-band withdrawal (operator escalation): never faulted.
+
+        The last-resort cleanup supervisors use in ``finally`` paths
+        when even the retried :meth:`withdraw` keeps losing the message
+        — a real operator would phone the mux NOC rather than leave a
+        poisoned prefix standing.
+        """
         simulator.withdraw(self.asn, prefix)
         self.internet.policies[self.asn].selective_export.pop(prefix, None)

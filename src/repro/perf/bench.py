@@ -180,6 +180,86 @@ def robustness_overhead(
     }
 
 
+def active_robustness_overhead(
+    study: StudyResults, repeats: int = 3
+) -> Dict[str, object]:
+    """Cost of active-experiment supervision on a zero-fault-plan run.
+
+    Times one poisoning-discovery sweep plus the magnet rounds twice
+    over identical fresh worlds: the bare drivers vs the supervised path
+    (default :class:`~repro.peering.ActiveSupervisor`, i.e. a zero
+    fault plan, no journal).  ``FaultPlan.fires`` short-circuits on a
+    zero rate before hashing, so the supervised leg must stay within
+    noise (<5%) of the bare one.
+    """
+    from repro.bgp import BGPSimulator
+    from repro.peering import (
+        ActiveSupervisor,
+        FeedArchive,
+        PeeringTestbed,
+        discover_alternate_routes,
+        run_magnet_experiments,
+    )
+    from repro.topogen import generate_internet
+
+    # The study's own active phase installed a testbed into its graph;
+    # regenerate the same internet so the benchmark testbed installs
+    # cleanly.  The testbed is installed once (a second install on the
+    # same graph would collide); announcement state lives in the
+    # simulator, which is rebuilt fresh for every leg.
+    internet = generate_internet(study.config.topology, seed=study.config.seed)
+    graph = internet.graph
+    testbed = PeeringTestbed(internet, num_muxes=4, seed=study.config.seed)
+    targets = [asn for asn in graph.asns() if graph.degree(asn) >= 5][:8]
+    vp_asns = internet.eyeball_asns[:8]
+
+    def build():
+        return BGPSimulator(
+            graph, policies=internet.policies, country_of=internet.country_of
+        )
+
+    plain_s = supervised_s = float("inf")
+    report = None
+    for _ in range(repeats):
+        simulator = build()
+        start = time.perf_counter()
+        discover_alternate_routes(testbed, simulator, targets)
+        run_magnet_experiments(
+            testbed, simulator, FeedArchive([]), vp_asns=vp_asns
+        )
+        plain_s = min(plain_s, time.perf_counter() - start)
+
+        simulator = build()
+        supervisor = ActiveSupervisor()
+        start = time.perf_counter()
+        discover_alternate_routes(
+            testbed, simulator, targets, supervisor=supervisor
+        )
+        run_magnet_experiments(
+            testbed,
+            simulator,
+            FeedArchive([]),
+            vp_asns=vp_asns,
+            supervisor=supervisor,
+        )
+        supervised_s = min(supervised_s, time.perf_counter() - start)
+        report = supervisor.report
+
+    overhead = None
+    if plain_s:
+        overhead = round((supervised_s / plain_s - 1.0) * 100.0, 2)
+    return {
+        "fault_plan": None,
+        "discovery_targets": len(targets),
+        "magnet_rounds": report.magnet_rounds if report else 0,
+        "accounted": report.accounted() if report else None,
+        "announcements": report.announcements if report else 0,
+        "plain_seconds": round(plain_s, 6),
+        "supervised_seconds": round(supervised_s, 6),
+        "overhead_pct": overhead,
+    }
+
+
 def run_benchmark(
     study: StudyResults,
     workers: Optional[int] = None,
@@ -234,6 +314,7 @@ def run_benchmark(
         "robustness": robustness_overhead(
             study, batched_s, workers=workers, repeats=repeats
         ),
+        "active_robustness": active_robustness_overhead(study, repeats=repeats),
     }
 
 
@@ -331,6 +412,15 @@ def main(argv: Optional[list] = None) -> int:
         f"{rob['campaign_resilient_seconds']:.3f}s "
         f"({rob['campaign_overhead_pct']:+.1f}%), "
         f"classification overhead {rob['classification_overhead_pct']:+.1f}%"
+    )
+    active = payload["active_robustness"]
+    print(
+        f"active supervision (no fault plan): "
+        f"{active['plain_seconds']:.3f}s -> "
+        f"{active['supervised_seconds']:.3f}s "
+        f"({active['overhead_pct']:+.1f}%, "
+        f"{active['discovery_targets']} targets, "
+        f"{active['magnet_rounds']} magnet rounds)"
     )
     print(f"wrote {path}")
     return 0 if cls["results_identical"] else 1

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bgp import BGPSimulator, Policy
+from repro.bgp.simulator import ConvergenceError
 from repro.net.ip import Prefix
 from repro.topology import ASGraph, Relationship
 
@@ -208,6 +209,104 @@ class TestAnycastAndAge:
         sim.originate(4, PFX)
         assert sim.best_route(1, PFX) is not None
         assert sim.best_route(2, PFX) is None
+
+
+class TestConvergenceFailure:
+    """The event budget, its soft-limit warning, and recovery hooks."""
+
+    def _contested_graph(self):
+        """Origin 6 with two providers; enough traffic to hit a tiny budget."""
+        return _graph(
+            (1, 2, Relationship.PEER),
+            (1, 3, Relationship.CUSTOMER),
+            (1, 6, Relationship.CUSTOMER),
+            (2, 6, Relationship.CUSTOMER),
+        )
+
+    def test_convergence_error_carries_context(self):
+        sim = BGPSimulator(self._contested_graph(), max_events_per_link=1)
+        with pytest.raises(ConvergenceError) as excinfo:
+            sim.originate(6, PFX)
+        error = excinfo.value
+        assert error.prefix == PFX
+        assert error.epoch == 1
+        assert error.delivered == 4  # the whole budget was spent
+        assert str(PFX) in str(error)
+
+    def test_soft_limit_hook_fires_before_hard_limit(self):
+        sim = BGPSimulator(self._contested_graph(), max_events_per_link=1)
+        warnings = []
+        sim.on_soft_limit = lambda prefix, epoch, delivered: warnings.append(
+            (prefix, epoch, delivered)
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            sim.originate(6, PFX)
+        assert len(warnings) == 1
+        prefix, epoch, delivered = warnings[0]
+        assert prefix == PFX
+        assert epoch == 1
+        # The warning preceded the hard limit: a supervisor acting on it
+        # gets a head start on the breaker.
+        assert delivered < excinfo.value.delivered
+
+    def test_soft_limit_hook_can_fire_without_hard_failure(self):
+        # The chain needs 3 deliveries against a budget of 3 (soft at 2):
+        # the warning fires but convergence still completes.
+        sim = BGPSimulator(_chain(), max_events_per_link=1)
+        warnings = []
+        sim.on_soft_limit = lambda *args: warnings.append(args)
+        sim.originate(4, PFX)
+        assert len(warnings) == 1
+        assert sim.best_route(1, PFX) is not None
+
+    def test_discard_pending_clears_the_unconverged_tail(self):
+        sim = BGPSimulator(self._contested_graph(), max_events_per_link=1)
+        with pytest.raises(ConvergenceError):
+            sim.originate(6, PFX)
+        assert sim.discard_pending() > 0
+        assert sim.discard_pending() == 0
+
+    def test_epoch_counts_origination_changes(self):
+        sim = BGPSimulator(_chain())
+        assert sim.epoch == 0
+        sim.originate(4, PFX)
+        assert sim.epoch == 1
+        sim.withdraw(4, PFX)
+        assert sim.epoch == 2
+
+
+class TestFlapDamping:
+    """Route-flap damping freezes oscillating state (see damped_ases)."""
+
+    def _flappy_graph(self):
+        """AS1 sees a peer route via 2 first, then a customer route via 6."""
+        return _graph(
+            (1, 2, Relationship.PEER),
+            (2, 4, Relationship.CUSTOMER),
+            (1, 6, Relationship.CUSTOMER),
+            (6, 4, Relationship.CUSTOMER),
+        )
+
+    def test_damped_ases_after_repeated_best_changes(self):
+        sim = BGPSimulator(self._flappy_graph(), flap_limit=1)
+        sim.originate(4, PFX)
+        damped = sim.damped_ases()
+        assert 1 in damped
+        assert PFX in damped[1]
+
+    def test_damping_resets_each_epoch(self):
+        sim = BGPSimulator(self._flappy_graph(), flap_limit=1)
+        sim.originate(4, PFX)
+        assert sim.damped_ases()
+        # A new origination starts a new epoch: counters clear, and the
+        # no-op re-announcement causes no best changes, so nothing damps.
+        sim.originate(4, PFX)
+        assert sim.damped_ases() == {}
+
+    def test_no_damping_without_flap_limit(self):
+        sim = BGPSimulator(self._flappy_graph())
+        sim.originate(4, PFX)
+        assert sim.damped_ases() == {}
 
 
 class TestSimulatorMisc:

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.bgp import BGPSimulator
+from repro.faults import CampaignInterrupted, FaultPlan, FaultSite
 from repro.peering import (
+    ActiveRunConfig,
+    ActiveSupervisor,
     FeedArchive,
     PeeringTestbed,
     RouteCollector,
@@ -109,3 +112,188 @@ class TestMagnet:
         feeds = FeedArchive([])
         observations = run_magnet_experiments(testbed, sim, feeds)
         assert any(observation.truth_decision_steps for observation in observations)
+
+
+def _transit_targets(internet, count):
+    return [
+        asn for asn in internet.graph.asns() if internet.graph.degree(asn) >= 5
+    ][:count]
+
+
+def _supervisor(**rates_and_opts):
+    rates = rates_and_opts.pop("rates", {})
+    return ActiveSupervisor(
+        ActiveRunConfig(fault_plan=FaultPlan(seed=7, rates=rates), **rates_and_opts)
+    )
+
+
+class TestSupervisedDiscovery:
+    def test_zero_fault_supervisor_matches_unsupervised(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 4)
+        plain = discover_alternate_routes(testbed, sim, targets)
+        supervised = discover_alternate_routes(
+            testbed, sim, targets, supervisor=ActiveSupervisor()
+        )
+        assert plain.observations == supervised.observations
+        assert plain.distinct_announcements == supervised.distinct_announcements
+        assert plain.observed_links == supervised.observed_links
+        assert all(
+            status == "completed" for status in supervised.dispositions.values()
+        )
+
+    def test_poison_filtering_censors_partial_orders(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 5)
+        supervisor = _supervisor(rates={FaultSite.POISON_FILTERED: 1.0})
+        result = discover_alternate_routes(
+            testbed, sim, targets, supervisor=supervisor
+        )
+        report = supervisor.report
+        assert report.accounted()
+        # Every poisoned announcement was filtered, so any target that
+        # needed one ends censored with only its clean best route.
+        censored = [o for o in result.observations if o.censored]
+        assert censored
+        for observation in censored:
+            assert observation.censor_reason == "exhausted:poison-filtered"
+            assert len(observation.routes) == 1
+            assert result.dispositions[observation.target] == "censored"
+        # Observations still cover every non-quarantined target.
+        assert len(result.observations) == len(targets)
+
+    def test_long_path_rejection_is_terminal(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 4)
+        supervisor = _supervisor(
+            rates={FaultSite.LONG_PATH_REJECTED: 1.0}, long_path_limit=1
+        )
+        result = discover_alternate_routes(
+            testbed, sim, targets, supervisor=supervisor
+        )
+        censored = [o for o in result.observations if o.censored]
+        assert censored
+        assert all(o.censor_reason == "long-path-rejected" for o in censored)
+        # Non-retryable: the retry machinery never spun.
+        assert supervisor.report.retry.retries == 0
+
+    def test_breaker_quarantines_after_repeated_failures(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 3)
+        supervisor = _supervisor(
+            rates={FaultSite.POISON_FILTERED: 1.0},
+            breaker_threshold=1,
+            breaker_cooldown=10,
+        )
+        result = discover_alternate_routes(
+            testbed, sim, targets, supervisor=supervisor
+        )
+        report = supervisor.report
+        assert report.accounted()
+        assert report.quarantined.get("breaker-open", 0) >= 1
+        quarantined = [
+            target
+            for target, status in result.dispositions.items()
+            if status == "quarantined"
+        ]
+        observed = {o.target for o in result.observations}
+        # Quarantined targets are excluded from the observations.
+        assert observed.isdisjoint(quarantined)
+        assert report.breaker.trips >= 1
+
+    def test_watchdog_budget_censors_deep_targets(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 4)
+        supervisor = _supervisor(watchdog_budget=1)
+        result = discover_alternate_routes(
+            testbed, sim, targets, supervisor=supervisor
+        )
+        reasons = {o.censor_reason for o in result.observations if o.censored}
+        assert reasons == {"watchdog-budget"}
+        assert supervisor.report.accounted()
+
+    def test_transient_damping_recovered_by_retry(self, world):
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 4)
+        supervisor = _supervisor(rates={FaultSite.ROUTE_FLAP_DAMPING: 0.4})
+        result = discover_alternate_routes(
+            testbed, sim, targets, supervisor=supervisor
+        )
+        report = supervisor.report
+        assert report.accounted()
+        assert report.damping_events > 0
+        # Transient faults are keyed per attempt: retries recover some.
+        assert report.retry.succeeded_after_retry > 0
+        # Recovered rounds look exactly like fault-free ones.
+        reference = discover_alternate_routes(testbed, sim, targets)
+        recovered = [
+            o
+            for o in result.observations
+            if not o.censored
+            and result.dispositions[o.target] == "completed"
+        ]
+        reference_by_target = {o.target: o for o in reference.observations}
+        for observation in recovered:
+            assert observation.routes == reference_by_target[observation.target].routes
+
+    def test_escape_leaves_testbed_unpoisoned(self, world):
+        """Satellite: any escape restores the clean announcement (finally)."""
+        internet, testbed, sim = world
+        targets = _transit_targets(internet, 3)
+        prefix = testbed.prefixes[0]
+        testbed.announce(sim, prefix)
+        clean_reachable = sim.reachable_ases(prefix)
+        supervisor = ActiveSupervisor(ActiveRunConfig(abort_after=1))
+        with pytest.raises(CampaignInterrupted):
+            discover_alternate_routes(
+                testbed, sim, targets, prefix=prefix, supervisor=supervisor
+            )
+        # The kill fired right after the first target's poisoned rounds,
+        # but the finally path re-announced the unpoisoned prefix.
+        assert sim.reachable_ases(prefix) == clean_reachable
+
+    def test_soft_limit_hook_restored_after_run(self, world):
+        internet, testbed, sim = world
+        sentinel = object()
+        sim.on_soft_limit = sentinel
+        discover_alternate_routes(testbed, sim, _transit_targets(internet, 2))
+        assert sim.on_soft_limit is sentinel
+        sim.on_soft_limit = None
+
+
+class TestSupervisedMagnet:
+    def test_feed_gap_censors_round_but_keeps_traceroutes(self, world):
+        internet, testbed, sim = world
+        feeds = FeedArchive(
+            [RouteCollector(name="rv", peer_asns=tuple(internet.graph.asns())[:20])]
+        )
+        supervisor = _supervisor(rates={FaultSite.COLLECTOR_FEED_GAP: 1.0})
+        observations = run_magnet_experiments(
+            testbed,
+            sim,
+            feeds,
+            vp_asns=internet.eyeball_asns[:10],
+            supervisor=supervisor,
+        )
+        report = supervisor.report
+        assert report.accounted()
+        assert report.feed_gaps == len(testbed.muxes)
+        assert len(observations) == len(testbed.muxes)
+        for observation in observations:
+            assert observation.censored
+            assert observation.censor_reason == "feed-gap"
+            assert observation.feed_visible == frozenset()
+            # The traceroute channel survives the feed gap.
+            assert observation.vp_visible
+        # Nothing was recorded into the gapped archive.
+        assert not feeds._paths
+
+    def test_magnet_accounting_balances_fault_free(self, world):
+        internet, testbed, sim = world
+        supervisor = ActiveSupervisor()
+        run_magnet_experiments(
+            testbed, sim, FeedArchive([]), supervisor=supervisor
+        )
+        report = supervisor.report
+        assert report.accounted()
+        assert report.magnet_completed == len(testbed.muxes)
