@@ -47,6 +47,9 @@ from repro.faults import (
 )
 from repro.net.ip import Prefix
 from repro.net.trie import PrefixTrie
+from repro.obs.context import get_obs, publish
+from repro.obs.events import CATEGORY_CAMPAIGN, CATEGORY_QUARANTINE
+from repro.obs.trace import span
 from repro.topogen.internet import Internet, Replica
 
 
@@ -159,9 +162,10 @@ def run_campaign(
 
     # Originate every prefix of every destination AS so that the BGP
     # feeds expose per-prefix export behaviour (needed by PSP criteria).
-    targets, announced, destination_prefixes = _originate_destinations(
-        internet, simulator
-    )
+    with span("originate_destinations"):
+        targets, announced, destination_prefixes = _originate_destinations(
+            internet, simulator
+        )
 
     resolver = CDNResolver(internet, seed=config.seed, locality=config.dns_locality)
     engine = TracerouteEngine(
@@ -176,33 +180,40 @@ def run_campaign(
     budget_skipped: List[Probe] = []
     ledger = config.ledger
     names = resolver.names()
-    for probe in probes:
-        if ledger is not None:
-            sweep_cost = ledger.cost_of("dns", len(names)) + ledger.cost_of(
-                "traceroute", len(names)
-            )
-            if sweep_cost > ledger.remaining:
-                # Daily budget exhausted; the probe is skipped but no
-                # longer vanishes without trace.
-                budget_skipped.append(probe)
-                continue
-        for dns_name in names:
-            replica = resolver.resolve(dns_name, probe)
+    with span("probe_sweep", probes=len(probes), names=len(names)):
+        for probe in probes:
             if ledger is not None:
-                ledger.charge("dns")
-            if replica is None:
-                continue
-            if ledger is not None:
-                ledger.charge("traceroute")
-            trace = engine.trace(probe.asn, probe.ip, probe.city, replica.ip)
-            measurements.append(
-                Measurement(
-                    probe=probe,
-                    dns_name=dns_name,
-                    replica=replica,
-                    traceroute=trace,
+                sweep_cost = ledger.cost_of("dns", len(names)) + ledger.cost_of(
+                    "traceroute", len(names)
                 )
-            )
+                if sweep_cost > ledger.remaining:
+                    # Daily budget exhausted; the probe is skipped but no
+                    # longer vanishes without trace.
+                    budget_skipped.append(probe)
+                    continue
+            for dns_name in names:
+                replica = resolver.resolve(dns_name, probe)
+                if ledger is not None:
+                    ledger.charge("dns")
+                if replica is None:
+                    continue
+                if ledger is not None:
+                    ledger.charge("traceroute")
+                trace = engine.trace(probe.asn, probe.ip, probe.city, replica.ip)
+                measurements.append(
+                    Measurement(
+                        probe=probe,
+                        dns_name=dns_name,
+                        replica=replica,
+                        traceroute=trace,
+                    )
+                )
+    metrics = get_obs().metrics
+    if metrics.enabled:
+        metrics.counter(
+            "repro_campaign_measurements_total",
+            "Measurements collected by the passive campaign.",
+        ).labels(runner="reference").inc(len(measurements))
     return CampaignDataset(
         measurements=measurements,
         announced=announced,
@@ -308,9 +319,10 @@ def run_resilient_campaign(
     retry = config.retry or RetryPolicy(seed=config.seed)
     if simulator is None:
         simulator = _build_simulator(internet)
-    targets, announced, destination_prefixes = _originate_destinations(
-        internet, simulator
-    )
+    with span("originate_destinations"):
+        targets, announced, destination_prefixes = _originate_destinations(
+            internet, simulator
+        )
     resolver = CDNResolver(internet, seed=config.seed, locality=config.dns_locality)
     engine = TracerouteEngine(
         internet,
@@ -504,6 +516,13 @@ def run_resilient_campaign(
             except MalformedResultError as error:
                 report.retry.merge(call_stats)
                 report.record_quarantined(error.reason)
+                publish(
+                    CATEGORY_QUARANTINE,
+                    "pair",
+                    probe=pid,
+                    name=dns_name,
+                    reason=error.reason,
+                )
                 finalize(
                     probe, dns_name, _QUARANTINED, error.reason,
                     state["charged"], call_stats.attempts, None,
@@ -511,6 +530,13 @@ def run_resilient_campaign(
             except RetryExhausted as error:
                 report.retry.merge(call_stats)
                 report.record_lost(error.reason)
+                publish(
+                    CATEGORY_CAMPAIGN,
+                    "pair_lost",
+                    probe=pid,
+                    name=dns_name,
+                    reason=error.reason,
+                )
                 finalize(
                     probe, dns_name, _LOST, error.reason,
                     state["charged"], call_stats.attempts, None,
@@ -518,6 +544,13 @@ def run_resilient_campaign(
             except BudgetExceeded:
                 report.retry.merge(call_stats)
                 report.record_lost("budget")
+                publish(
+                    CATEGORY_CAMPAIGN,
+                    "pair_lost",
+                    probe=pid,
+                    name=dns_name,
+                    reason="budget",
+                )
                 finalize(
                     probe, dns_name, _LOST, "budget",
                     state["charged"], call_stats.attempts, None,
@@ -543,6 +576,7 @@ def run_resilient_campaign(
 
     if journal is not None:
         journal.close()
+    _record_campaign_metrics(report, len(measurements))
     return CampaignDataset(
         measurements=measurements,
         announced=announced,
@@ -552,3 +586,37 @@ def run_resilient_campaign(
         budget_skipped=budget_skipped,
         robustness=report,
     )
+
+
+def _record_campaign_metrics(report: RobustnessReport, measurements: int) -> None:
+    """Fold one resilient run's accounting into the metrics registry.
+
+    Folded once at campaign end — never incremented per pair — so the
+    instrumented hot loop pays nothing beyond the disposition events.
+    """
+    metrics = get_obs().metrics
+    if not metrics.enabled:
+        return
+    metrics.counter(
+        "repro_campaign_measurements_total",
+        "Measurements collected by the passive campaign.",
+    ).labels(runner="resilient").inc(measurements)
+    pairs = metrics.counter(
+        "repro_campaign_pairs_total",
+        "Campaign (probe, name) pairs by final disposition.",
+    )
+    pairs.labels(disposition="completed").inc(report.completed)
+    pairs.labels(disposition="degraded").inc(sum(report.degraded.values()))
+    pairs.labels(disposition="quarantined").inc(sum(report.quarantined.values()))
+    pairs.labels(disposition="lost").inc(sum(report.lost.values()))
+    pairs.labels(disposition="resumed").inc(report.resumed_pairs)
+    retries = metrics.counter(
+        "repro_retry_attempts_total",
+        "Retry attempts spent by the campaign, per fault site.",
+    )
+    for site, count in sorted(report.retry.retries_by_site.items()):
+        retries.labels(site=site).inc(count)
+    metrics.gauge(
+        "repro_retry_simulated_wait_seconds",
+        "Virtual seconds the campaign spent in retry backoff.",
+    ).set(round(report.retry.simulated_wait_s, 3))

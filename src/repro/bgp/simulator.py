@@ -17,6 +17,8 @@ from repro.bgp.policy import CountryLookup, Policy
 from repro.bgp.routes import LocalRoute, Route
 from repro.bgp.speaker import BGPSpeaker
 from repro.net.ip import Prefix
+from repro.obs.context import events_enabled, publish
+from repro.obs.events import CATEGORY_BGP
 from repro.topology.graph import ASGraph
 
 
@@ -135,6 +137,13 @@ class BGPSimulator:
         warned = False
         while self._queue:
             if delivered >= self._max_events:
+                publish(
+                    CATEGORY_BGP,
+                    "convergence_error",
+                    prefix=str(self._origination_prefix),
+                    epoch=self.epoch,
+                    delivered=delivered,
+                )
                 raise ConvergenceError(
                     f"no convergence after {delivered} events for "
                     f"{self._origination_prefix} (epoch {self.epoch}); "
@@ -143,15 +152,19 @@ class BGPSimulator:
                     epoch=self.epoch,
                     delivered=delivered,
                 )
-            if (
-                not warned
-                and delivered >= self._soft_events
-                and self.on_soft_limit is not None
-            ):
+            if not warned and delivered >= self._soft_events:
                 warned = True
-                self.on_soft_limit(
-                    self._origination_prefix, self.epoch, delivered
+                publish(
+                    CATEGORY_BGP,
+                    "soft_limit",
+                    prefix=str(self._origination_prefix),
+                    epoch=self.epoch,
+                    delivered=delivered,
                 )
+                if self.on_soft_limit is not None:
+                    self.on_soft_limit(
+                        self._origination_prefix, self.epoch, delivered
+                    )
             target, message = self._queue.popleft()
             self.clock += 1
             delivered += 1
@@ -159,6 +172,13 @@ class BGPSimulator:
             best_changed = speaker.receive(message, self.clock, self._country_of)
             if best_changed:
                 self._enqueue_exports(target, message.prefix)
+        if delivered and events_enabled():
+            publish(
+                CATEGORY_BGP,
+                "converged",
+                epoch=self.epoch,
+                delivered=delivered,
+            )
         return delivered
 
     def discard_pending(self) -> int:

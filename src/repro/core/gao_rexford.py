@@ -72,6 +72,21 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
         }
 
+    def delta(self, baseline: "CacheStats") -> "CacheStats":
+        """Counters accrued since ``baseline`` (size stays current).
+
+        The engine's counters are cumulative over its lifetime; a
+        per-layer report must subtract the previous layer's snapshot or
+        every layer after the first inherits its predecessors' hits.
+        """
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+            size=self.size,
+            maxsize=self.maxsize,
+        )
+
 
 class RoutingCache:
     """Bounded LRU cache of :class:`RoutingInfo` with hit/miss counters.
@@ -115,6 +130,12 @@ class RoutingCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters; cached entries stay."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -276,8 +297,18 @@ class GaoRexfordEngine:
         self._cache.put(self.cache_key(destination, allowed_first_hops), info)
 
     def cache_stats(self) -> CacheStats:
-        """Counters of the routing-tree cache."""
+        """Counters of the routing-tree cache (cumulative since creation
+        or the last :meth:`reset_stats`)."""
         return self._cache.stats()
+
+    def reset_stats(self) -> None:
+        """Zero the cache counters without dropping cached trees.
+
+        Call between classification layers to make :meth:`cache_stats`
+        report that layer alone; without this, layer-level reports
+        silently accumulate across the whole run.
+        """
+        self._cache.reset_stats()
 
     # ------------------------------------------------------------------
     # Computation

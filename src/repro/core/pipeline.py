@@ -67,8 +67,10 @@ from repro.peering.experiments import (
     discover_alternate_routes,
     run_magnet_experiments,
 )
+from repro.obs.context import get_obs
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.trace import Tracer
 from repro.peering.testbed import PeeringTestbed
-from repro.perf.timing import StageTimer
 from repro.topogen.config import TopologyConfig
 from repro.topogen.generator import generate_internet
 from repro.topogen.inference import InferenceConfig, inferred_snapshots
@@ -191,8 +193,19 @@ class StudyResults:
     discovery: Optional[DiscoveryResult] = None
     magnet_table: Optional[MagnetDecisionTable] = None
     magnet_observations: List = field(default_factory=list)
-    #: Wall-clock seconds per pipeline stage (see repro.perf.timing).
+    #: Wall-clock seconds per pipeline stage (top-level spans of the
+    #: run's tracer; see repro.obs.trace).
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    #: Per-layer routing-cache stats from the Figure-1 grading pass:
+    #: layer -> {"delta": ..., "cumulative": ...}.  The delta is what
+    #: the layer itself did; the cumulative view is the engine's
+    #: lifetime counters at that point.
+    layer_cache_stats: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
+    #: Telemetry manifest — populated when observability is enabled
+    #: (CLI ``--obs`` or an installed repro.obs context).
+    manifest: Optional[RunManifest] = None
     #: Fault/retry/coverage accounting (fault-injected campaigns only).
     robustness: Optional[RobustnessReport] = None
     #: Per-target/per-round accounting for the active experiments
@@ -219,15 +232,53 @@ class Study:
         self._results: Optional[StudyResults] = None
 
     def run(self) -> StudyResults:
-        """Run every stage; results are cached after the first call."""
+        """Run every stage; results are cached after the first call.
+
+        The run is traced end to end: each stage is a top-level span,
+        inner layers (parallel classifier, campaign runners, active
+        drivers) nest child spans through the ambient tracer, and
+        ``results.stage_timings`` is the top-level view of that tree.
+        When an observability context is enabled the run also binds a
+        :class:`~repro.obs.manifest.RunManifest` into the results.
+        """
         if self._results is not None:
             return self._results
         config = self.config
+        tracer = Tracer()
+        with tracer.activate():
+            results = self._run_stages(tracer)
+        results.stage_timings = tracer.stage_timings()
+        obs = get_obs()
+        if obs.enabled:
+            plan = config.fault_plan
+            results.manifest = build_manifest(
+                obs,
+                tracer,
+                kind="study",
+                config=config,
+                topology_seed=config.seed,
+                fault_plan_seed=plan.seed if plan is not None else None,
+                fault_plan_fingerprint=(
+                    plan.fingerprint() if plan is not None else None
+                ),
+                meta={
+                    "decisions": len(results.decisions),
+                    "measurements": len(results.dataset.measurements),
+                    "selected_probes": len(results.selected_probes),
+                    "active_experiments": config.active_experiments,
+                    "resumed": config.resume,
+                },
+            )
+        self._results = results
+        return results
+
+    def _run_stages(self, tracer: Tracer) -> StudyResults:
+        config = self.config
         seed = config.seed
-        timer = StageTimer()
+        timer = tracer
 
         # Stage 1: the world and what inference sees of it.
-        with timer.stage("topology"):
+        with timer.span("topology"):
             internet = self._internet or generate_internet(config.topology, seed=seed)
             snapshots, known_complex = inferred_snapshots(
                 internet, config.inference, seed=seed + 1
@@ -239,7 +290,7 @@ class Study:
         # PEERING's links exist in the speakers' world).
         testbed = None
         if config.active_experiments:
-            with timer.stage("testbed"):
+            with timer.span("testbed"):
                 testbed = PeeringTestbed(
                     internet,
                     num_muxes=config.num_muxes,
@@ -251,7 +302,7 @@ class Study:
         # Stage 3: probes and the passive campaign.  A fault plan or a
         # checkpoint path routes through the resilient runner; the
         # fault-free path stays on the zero-overhead reference runner.
-        with timer.stage("campaign"):
+        with timer.span("campaign"):
             probes = generate_probes(internet, count=config.num_probes, seed=seed + 3)
             selected = select_probes_balanced(
                 probes, per_continent=config.probes_per_continent, seed=seed + 4
@@ -270,7 +321,7 @@ class Study:
                 dataset = run_campaign(internet, selected, campaign_config)
 
         # Stage 4: control-plane visibility.
-        with timer.stage("feeds"):
+        with timer.span("feeds"):
             feeds = FeedArchive(default_collectors(internet, seed=seed + 6))
             all_prefixes = [
                 prefix
@@ -280,7 +331,7 @@ class Study:
             feeds.record(dataset.simulator, all_prefixes)
 
         # Stage 5: measurement-pipeline datasets.
-        with timer.stage("ipmap"):
+        with timer.span("ipmap"):
             mapper = IPToASMapper.from_prefix_map(internet.prefixes)
             geo = GeoDatabase.from_internet(
                 internet,
@@ -292,7 +343,7 @@ class Study:
         # Stage 6: decisions from traceroutes.  Malformed measurements
         # are quarantined into the robustness report, never raised.
         robustness = dataset.robustness
-        with timer.stage("extract_decisions"):
+        with timer.span("extract_decisions"):
             per_measurement, pipeline_quarantined = self._extract_decisions(
                 dataset, mapper, geo
             )
@@ -306,12 +357,24 @@ class Study:
             decisions = [
                 decision for _m, _path, group in per_measurement for decision in group
             ]
+            metrics = get_obs().metrics
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_decisions_extracted_total",
+                    "Routing decisions extracted from the campaign.",
+                ).inc(len(decisions))
+                quarantine_counter = metrics.counter(
+                    "repro_measurements_quarantined_total",
+                    "Measurements quarantined during decision extraction.",
+                )
+                for reason, count in sorted(pipeline_quarantined.items()):
+                    quarantine_counter.labels(reason=reason).inc(count)
 
         # Stage 7: classification layers (Figure 1).  Routing trees for
         # all seven layers are precomputed through the parallel
         # classifier (process pool above the size threshold, serial
         # otherwise), then each layer grades against warm caches.
-        with timer.stage("psp"):
+        with timer.span("psp"):
             engine_simple = GaoRexfordEngine(inferred)
             partial = frozenset(
                 (entry.provider, entry.customer)
@@ -326,7 +389,7 @@ class Study:
             first_hops_1 = psp.first_hops_map(origins, criterion=1)
             first_hops_2 = psp.first_hops_map(origins, criterion=2)
 
-        with timer.stage("figure1"):
+        with timer.span("figure1"):
             # Imported lazily: repro.perf.parallel itself imports from
             # repro.core, so a module-level import here would cycle.
             from repro.perf.parallel import ParallelClassifier
@@ -342,7 +405,7 @@ class Study:
             )
             figure1 = classifier.classify_layers(decisions, layer_configs)
 
-        with timer.stage("label_decisions"):
+        with timer.span("label_decisions"):
             labeled_simple = classifier.label_layer(
                 decisions, layer_configs["Simple"]
             )
@@ -363,7 +426,7 @@ class Study:
                 )
 
         # Stage 8: skew, geography, validation.
-        with timer.stage("skew_geography"):
+        with timer.span("skew_geography"):
             skew = compute_skew(labeled_simple)
             geography = GeographyAnalysis(
                 geo, internet.whois, internet.cables, engine_simple
@@ -371,7 +434,7 @@ class Study:
             continental = geography.continental_breakdown(traces)
             domestic = geography.domestic_rows(traces)
             cable_summary = geography.cable_summary(traces)
-        with timer.stage("psp_validation"):
+        with timer.span("psp_validation"):
             psp_cases_1 = psp.cases(origins, criterion=1)
             psp_cases_2 = psp.cases(origins, criterion=2)
             looking_glasses = LookingGlassDeployment(
@@ -404,6 +467,7 @@ class Study:
             psp_validation=psp_validation,
             probe_table=probe_table,
             robustness=robustness,
+            layer_cache_stats=dict(classifier.last_layer_cache_stats),
             engine=engine_simple,
             engine_complex=engine_complex,
             known_complex=known_complex,
@@ -417,14 +481,12 @@ class Study:
 
         # Stage 9: active experiments (Table 2, Section 4.4).
         if testbed is not None:
-            with timer.stage("active_experiments"):
+            with timer.span("active_experiments"):
                 self._run_active(results, testbed, probes, inferred, internet, seed)
             if results.robustness is not None:
                 results.robustness.mux_session_resets = testbed.session_resets
                 results.robustness.retry.merge(testbed.retry_stats)
 
-        results.stage_timings = timer.as_dict()
-        self._results = results
         return results
 
     # ------------------------------------------------------------------

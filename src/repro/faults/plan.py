@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Mapping, Union
 
+from repro.obs.context import publish
+from repro.obs.events import CATEGORY_FAULT
+
 
 class FaultSite(str, Enum):
     """Every boundary where the plan can inject a failure."""
@@ -106,11 +109,24 @@ class FaultPlan:
         return value / 2.0 ** 64
 
     def fires(self, site: FaultSite, *key: Union[int, str]) -> bool:
-        """Whether the fault at ``site`` fires for this key."""
+        """Whether the fault at ``site`` fires for this key.
+
+        Firings are published to the observability event stream (when
+        one is enabled) under the site's value, so a run manifest can
+        list exactly which faults fired.  Publishing consumes no
+        randomness: the decision is a pure hash either way.
+        """
         rate = self.rate(site)
         if rate <= 0.0:
             return False
-        return self.roll(site, *key) < rate
+        fired = self.roll(site, *key) < rate
+        if fired:
+            publish(
+                CATEGORY_FAULT,
+                site.value,
+                key="/".join(str(part) for part in key),
+            )
+        return fired
 
     # ------------------------------------------------------------------
     # Serialization

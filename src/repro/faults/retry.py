@@ -20,6 +20,8 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.faults.errors import FaultError, RetryExhausted
 from repro.faults.plan import derive_seed
+from repro.obs.context import publish
+from repro.obs.events import CATEGORY_RETRY
 
 
 @dataclass
@@ -140,12 +142,27 @@ class RetryPolicy:
                     stats.simulated_wait_s += elapsed
                     stats.record_exhaustion(error)
                     limit = "deadline" if out_of_time and not out_of_attempts else "attempts"
+                    publish(
+                        CATEGORY_RETRY,
+                        "exhausted",
+                        site=error.site,
+                        reason=error.reason,
+                        attempts=attempt,
+                        limit=limit,
+                    )
                     raise RetryExhausted(
                         f"gave up after {attempt} attempt(s) ({limit} exhausted): {error}",
                         last_error=error,
                         attempts=attempt,
                     ) from error
                 stats.record_retry(error)
+                publish(
+                    CATEGORY_RETRY,
+                    "attempt",
+                    site=error.site,
+                    reason=error.reason,
+                    attempt=attempt,
+                )
                 elapsed += delay
             else:
                 stats.simulated_wait_s += elapsed

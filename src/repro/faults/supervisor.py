@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.faults.errors import BreakerOpen, WatchdogExpired
+from repro.obs.context import publish
+from repro.obs.events import CATEGORY_BREAKER, CATEGORY_WATCHDOG
 
 #: Breaker state names.
 CLOSED = "closed"
@@ -94,6 +96,7 @@ class CircuitBreaker:
             self.cooldown_left -= 1
             if self.cooldown_left <= 0:
                 self.state = HALF_OPEN
+                publish(CATEGORY_BREAKER, "half_open")
             return False
         # Half-open: admit one probe operation.
         self.stats.half_open_probes += 1
@@ -110,6 +113,8 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.stats.successes += 1
         self.consecutive_failures = 0
+        if self.state != CLOSED:
+            publish(CATEGORY_BREAKER, "closed")
         self.state = CLOSED
 
     def record_failure(self) -> None:
@@ -126,6 +131,7 @@ class CircuitBreaker:
         self.state = OPEN
         self.cooldown_left = self.cooldown
         self.consecutive_failures = 0
+        publish(CATEGORY_BREAKER, "open", trips=self.stats.trips)
 
     # ------------------------------------------------------------------
     # Serialization (checkpoint/resume)
@@ -177,6 +183,9 @@ class Watchdog:
         """Spend budget; raises :class:`WatchdogExpired` when exhausted."""
         self.spent += amount
         if self.spent > self.budget:
+            publish(
+                CATEGORY_WATCHDOG, "expired", budget=self.budget, spent=self.spent
+            )
             raise WatchdogExpired(
                 f"target exceeded its {self.budget}-announcement watchdog budget"
             )

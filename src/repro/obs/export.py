@@ -1,0 +1,276 @@
+"""Manifest exporters: JSONL, Prometheus text format, terminal summary.
+
+Three consumers of one :class:`~repro.obs.manifest.RunManifest`:
+
+* :func:`to_jsonl` / :func:`from_jsonl` — a line-oriented form for log
+  shippers; lossless (``from_jsonl(to_jsonl(m)) == m``).
+* :func:`to_prometheus` — the metric snapshot in Prometheus text
+  exposition format (counters, gauges, histograms with ``_bucket`` /
+  ``_sum`` / ``_count`` series) for scrape-style ingestion.
+* :func:`render_summary` — the human view ``repro obs report`` prints:
+  span tree with durations, metric highlights, fault/event accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest
+
+#: JSONL record kinds.
+_KIND_HEADER = "header"
+_KIND_SPAN = "span"
+_KIND_METRICS = "metrics"
+_KIND_EVENT = "event"
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(manifest: RunManifest) -> str:
+    """One JSON object per line: header, root spans, metrics, events."""
+    lines = [
+        json.dumps(
+            {
+                "kind": _KIND_HEADER,
+                "schema": manifest.schema,
+                "run_kind": manifest.kind,
+                "config_digest": manifest.config_digest,
+                "topology_seed": manifest.topology_seed,
+                "fault_plan_seed": manifest.fault_plan_seed,
+                "fault_plan_fingerprint": manifest.fault_plan_fingerprint,
+                "event_counts": dict(sorted(manifest.event_counts.items())),
+                "events_dropped": manifest.events_dropped,
+                "meta": manifest.meta,
+            },
+            sort_keys=True,
+        )
+    ]
+    for span in manifest.spans:
+        lines.append(json.dumps({"kind": _KIND_SPAN, "span": span}, sort_keys=True))
+    lines.append(
+        json.dumps(
+            {"kind": _KIND_METRICS, "metrics": manifest.metrics}, sort_keys=True
+        )
+    )
+    for event in manifest.events:
+        lines.append(
+            json.dumps({"kind": _KIND_EVENT, "event": event}, sort_keys=True)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> RunManifest:
+    """Rebuild a manifest from its JSONL export."""
+    header: Dict = {}
+    spans: List[Dict] = []
+    metrics: Dict = {}
+    events: List[Dict] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ValueError(f"bad JSONL manifest line {line_no}: {error}") from None
+        kind = record.get("kind")
+        if kind == _KIND_HEADER:
+            header = record
+        elif kind == _KIND_SPAN:
+            spans.append(record["span"])
+        elif kind == _KIND_METRICS:
+            metrics = record.get("metrics", {})
+        elif kind == _KIND_EVENT:
+            events.append(record["event"])
+        else:
+            raise ValueError(
+                f"unknown JSONL manifest record kind {kind!r} (line {line_no})"
+            )
+    return RunManifest(
+        kind=str(header.get("run_kind", "study")),
+        schema=int(header.get("schema", MANIFEST_SCHEMA)),
+        config_digest=str(header.get("config_digest", "")),
+        topology_seed=header.get("topology_seed"),
+        fault_plan_seed=header.get("fault_plan_seed"),
+        fault_plan_fingerprint=header.get("fault_plan_fingerprint"),
+        spans=spans,
+        metrics=metrics,
+        events=events,
+        event_counts={
+            str(key): int(value)
+            for key, value in header.get("event_counts", {}).items()
+        },
+        events_dropped=int(header.get("events_dropped", 0)),
+        meta=dict(header.get("meta", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series_line(name: str, key: str, value: float, extra: str = "") -> str:
+    labels = key
+    if extra:
+        labels = f"{key},{extra}" if key else extra
+    if labels:
+        return f"{name}{{{labels}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def to_prometheus(manifest: RunManifest) -> str:
+    """The manifest's metric snapshot in Prometheus text format."""
+    metrics = manifest.metrics
+    lines: List[str] = []
+    for name, data in sorted(metrics.get("counters", {}).items()):
+        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# TYPE {name} counter")
+        for key, value in sorted(data.get("series", {}).items()):
+            lines.append(_series_line(name, key, value))
+    for name, data in sorted(metrics.get("gauges", {}).items()):
+        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# TYPE {name} gauge")
+        for key, value in sorted(data.get("series", {}).items()):
+            lines.append(_series_line(name, key, value))
+    for name, data in sorted(metrics.get("histograms", {}).items()):
+        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# TYPE {name} histogram")
+        buckets = list(data.get("buckets", []))
+        for key, row in sorted(data.get("series", {}).items()):
+            counts = row.get("counts", [])
+            cumulative = 0.0
+            for bound, count in zip(buckets + [math.inf], counts):
+                cumulative += count
+                le = _format_value(bound)
+                lines.append(
+                    _series_line(f"{name}_bucket", key, cumulative, f'le="{le}"')
+                )
+            lines.append(_series_line(f"{name}_sum", key, row.get("sum", 0.0)))
+            lines.append(_series_line(f"{name}_count", key, row.get("count", 0.0)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Terminal summary
+# ---------------------------------------------------------------------------
+
+
+def _render_span(span: Dict, total: float, depth: int, lines: List[str]) -> None:
+    duration = float(span.get("duration_s", 0.0))
+    share = f"{duration / total * 100:5.1f}%" if total > 0 else "  -  "
+    marker = " !" if span.get("failed") else ""
+    attrs = span.get("attrs") or {}
+    attr_text = (
+        " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+        if attrs
+        else ""
+    )
+    lines.append(
+        f"  {'  ' * depth}{span.get('name', '?'):<{max(4, 34 - 2 * depth)}}"
+        f" {duration:9.3f}s  {share}{attr_text}{marker}"
+    )
+    for child in span.get("children", []):
+        _render_span(child, total, depth + 1, lines)
+
+
+def render_summary(manifest: RunManifest, top_metrics: int = 12) -> str:
+    """A terminal report of one manifest (what ``repro obs report`` prints)."""
+    lines: List[str] = []
+    lines.append(f"== run manifest ({manifest.kind}) ==")
+    identity = [f"config={manifest.config_digest or '-'}"]
+    if manifest.topology_seed is not None:
+        identity.append(f"topology_seed={manifest.topology_seed}")
+    if manifest.fault_plan_seed is not None:
+        identity.append(f"fault_plan_seed={manifest.fault_plan_seed}")
+    if manifest.fault_plan_fingerprint:
+        identity.append(f"fault_plan={manifest.fault_plan_fingerprint}")
+    lines.append("  " + "  ".join(identity))
+    for key, value in sorted(manifest.meta.items()):
+        lines.append(f"  {key}: {value}")
+
+    total = manifest.total_seconds()
+    if manifest.spans:
+        lines.append("")
+        lines.append(f"spans ({total:.3f}s total):")
+        for span in manifest.spans:
+            _render_span(span, total, 0, lines)
+
+    counters = manifest.metrics.get("counters", {})
+    gauges = manifest.metrics.get("gauges", {})
+    histograms = manifest.metrics.get("histograms", {})
+    if counters or gauges or histograms:
+        lines.append("")
+        lines.append(
+            f"metrics ({len(counters)} counters, {len(gauges)} gauges, "
+            f"{len(histograms)} histograms):"
+        )
+        rows: List[str] = []
+        for name, data in sorted(counters.items()):
+            for key, value in sorted(data.get("series", {}).items()):
+                label = f"{name}{{{key}}}" if key else name
+                rows.append(f"  {label:<52} {_format_value(value):>12}")
+        for name, data in sorted(gauges.items()):
+            for key, value in sorted(data.get("series", {}).items()):
+                label = f"{name}{{{key}}}" if key else name
+                rows.append(f"  {label:<52} {_format_value(value):>12}")
+        for name, data in sorted(histograms.items()):
+            for key, row in sorted(data.get("series", {}).items()):
+                label = f"{name}{{{key}}}" if key else name
+                count = row.get("count", 0.0)
+                mean = row.get("sum", 0.0) / count if count else 0.0
+                rows.append(
+                    f"  {label:<52} {_format_value(count):>12}"
+                    f"  (mean {mean:.6f})"
+                )
+        shown = rows[:top_metrics]
+        lines.extend(shown)
+        if len(rows) > len(shown):
+            lines.append(f"  ... {len(rows) - len(shown)} more series")
+
+    if manifest.event_counts:
+        lines.append("")
+        total_events = sum(manifest.event_counts.values())
+        dropped = (
+            f" ({manifest.events_dropped} beyond the log cap)"
+            if manifest.events_dropped
+            else ""
+        )
+        lines.append(f"events ({total_events} published{dropped}):")
+        for key, count in sorted(
+            manifest.event_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {key:<52} {count:>12}")
+
+    faults = manifest.fault_counts()
+    if faults:
+        lines.append("")
+        lines.append("faults fired:")
+        for site, count in faults.items():
+            lines.append(f"  {site:<52} {count:>12}")
+    return "\n".join(lines)
+
+
+def write_jsonl(manifest: RunManifest, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(manifest))
+    return path
+
+
+def write_prometheus(manifest: RunManifest, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(manifest))
+    return path

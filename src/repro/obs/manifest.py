@@ -1,0 +1,213 @@
+"""Run manifests: one JSON artifact binding a whole run together.
+
+A :class:`RunManifest` answers "what did run X do, where did the time
+go, and which faults fired" from a single file: it binds the config
+digest and seeds that identify the run, the span tree (where time
+went), the metric snapshot (what was counted), and the event log (what
+happened, including every fault firing and quarantine decision).
+
+Manifests are produced per study run (``repro study --obs-out``), per
+benchmark run (recorded into ``BENCH_pipeline.json``), and can be built
+for any instrumented region via :func:`build_manifest`.  They round-trip
+losslessly through JSON and through the JSONL exporter
+(:mod:`repro.obs.export`), which the exporter tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.context import Observability
+from repro.obs.trace import Tracer
+
+MANIFEST_SCHEMA = 1
+
+
+def _primitive(value):
+    """Recursively reduce ``value`` to JSON-encodable primitives.
+
+    Deterministic for everything a :class:`StudyConfig` can carry:
+    dataclasses become sorted field dicts, enums their values, sets
+    sorted lists.  Objects with no natural primitive form collapse to
+    their type name — enough to distinguish "a ledger was attached"
+    without chasing unstable ``repr`` addresses.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return _primitive(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _primitive(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            str(_primitive(key)): _primitive(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(_primitive(item)) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_primitive(item) for item in value]
+    return f"<{type(value).__name__}>"
+
+
+def config_digest(config: object) -> str:
+    """A stable 16-hex-digit digest identifying a run configuration."""
+    canonical = json.dumps(_primitive(config), sort_keys=True)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Everything one run's telemetry produced, as one JSON document."""
+
+    kind: str = "study"
+    schema: int = MANIFEST_SCHEMA
+    #: Digest of the run's full configuration (see :func:`config_digest`).
+    config_digest: str = ""
+    topology_seed: Optional[int] = None
+    fault_plan_seed: Optional[int] = None
+    fault_plan_fingerprint: Optional[str] = None
+    #: Span tree as plain dicts (see :class:`repro.obs.trace.Span`).
+    spans: List[Dict] = field(default_factory=list)
+    #: Metric snapshot (see :meth:`MetricsRegistry.snapshot`).
+    metrics: Dict = field(default_factory=dict)
+    #: Event log as plain dicts, bounded by the stream cap.
+    events: List[Dict] = field(default_factory=list)
+    #: Complete ``category:name`` -> count table (never truncated).
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    events_dropped: int = 0
+    #: Free-form run metadata (scenario name, decision counts, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def stage_timings(self) -> Dict[str, float]:
+        """Top-level span name -> seconds (the StageTimer-shaped view)."""
+        timings: Dict[str, float] = {}
+        for span in self.spans:
+            name = str(span.get("name", ""))
+            timings[name] = timings.get(name, 0.0) + float(
+                span.get("duration_s", 0.0)
+            )
+        return {name: round(seconds, 6) for name, seconds in timings.items()}
+
+    def total_seconds(self) -> float:
+        return sum(float(span.get("duration_s", 0.0)) for span in self.spans)
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Fault-site -> firing count, extracted from the event table."""
+        out: Dict[str, int] = {}
+        prefix = "fault:"
+        for key, count in sorted(self.event_counts.items()):
+            if key.startswith(prefix):
+                out[key[len(prefix):]] = count
+        return out
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "config_digest": self.config_digest,
+            "topology_seed": self.topology_seed,
+            "fault_plan_seed": self.fault_plan_seed,
+            "fault_plan_fingerprint": self.fault_plan_fingerprint,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "events": self.events,
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "events_dropped": self.events_dropped,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunManifest":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"manifest must be an object, got {type(data).__name__}"
+            )
+        schema = int(data.get("schema", MANIFEST_SCHEMA))
+        if schema > MANIFEST_SCHEMA:
+            raise ValueError(
+                f"manifest schema {schema} is newer than supported "
+                f"({MANIFEST_SCHEMA})"
+            )
+        return cls(
+            kind=str(data.get("kind", "study")),
+            schema=schema,
+            config_digest=str(data.get("config_digest", "")),
+            topology_seed=data.get("topology_seed"),
+            fault_plan_seed=data.get("fault_plan_seed"),
+            fault_plan_fingerprint=data.get("fault_plan_fingerprint"),
+            spans=list(data.get("spans", [])),
+            metrics=dict(data.get("metrics", {})),
+            events=list(data.get("events", [])),
+            event_counts={
+                str(key): int(value)
+                for key, value in data.get("event_counts", {}).items()
+            },
+            events_dropped=int(data.get("events_dropped", 0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        stripped = text.lstrip()
+        if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+            return cls.from_json(text)
+        # JSONL export (one object per line) loads transparently too.
+        from repro.obs.export import from_jsonl
+
+        return from_jsonl(text)
+
+
+def build_manifest(
+    obs: Observability,
+    tracer: Optional[Tracer] = None,
+    *,
+    kind: str = "study",
+    config: object = None,
+    topology_seed: Optional[int] = None,
+    fault_plan_seed: Optional[int] = None,
+    fault_plan_fingerprint: Optional[str] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> RunManifest:
+    """Bind the current telemetry state into one manifest."""
+    return RunManifest(
+        kind=kind,
+        config_digest=config_digest(config) if config is not None else "",
+        topology_seed=topology_seed,
+        fault_plan_seed=fault_plan_seed,
+        fault_plan_fingerprint=fault_plan_fingerprint,
+        spans=tracer.to_dicts() if tracer is not None else [],
+        metrics=obs.metrics.snapshot(),
+        events=obs.events.to_dicts(),
+        event_counts=dict(obs.events.counts),
+        events_dropped=obs.events.dropped,
+        meta=dict(meta or {}),
+    )

@@ -62,6 +62,9 @@ from repro.faults import (
     pair_key,
 )
 from repro.net.ip import Prefix
+from repro.obs.context import publish
+from repro.obs.events import CATEGORY_ACTIVE
+from repro.obs.trace import span
 from repro.peering.collectors import FeedArchive
 from repro.peering.testbed import PeeringTestbed
 
@@ -450,7 +453,9 @@ def discover_alternate_routes(
     baseline_links: Set[Tuple[int, int]] = set()
     poisoned_links: Set[Tuple[int, int]] = set()
 
-    with supervisor.supervising(simulator):
+    with span("discovery", targets=len(targets)), supervisor.supervising(
+        simulator
+    ):
         try:
             for target in targets:
                 report.expect_target()
@@ -533,6 +538,13 @@ def discover_alternate_routes(
                     simulator.discard_pending()
 
                 dispositions[target] = status
+                publish(
+                    CATEGORY_ACTIVE,
+                    "discovery_target",
+                    target=target,
+                    status=status,
+                    reason=reason,
+                )
                 if status == QUARANTINED:
                     report.record_quarantined(reason)
                 elif status == CENSORED:
@@ -744,7 +756,9 @@ def run_magnet_experiments(
     report = supervisor.report
     observations: List[MagnetObservation] = []
 
-    with supervisor.supervising(simulator):
+    with span("magnet_rounds", muxes=len(testbed.muxes)), supervisor.supervising(
+        simulator
+    ):
         try:
             for mux in testbed.muxes:
                 report.expect_magnet_round()
@@ -829,6 +843,13 @@ def run_magnet_experiments(
                     status, reason = QUARANTINED, "convergence-error"
                     simulator.discard_pending()
 
+                publish(
+                    CATEGORY_ACTIVE,
+                    "magnet_round",
+                    mux=mux.host_asn,
+                    status=status,
+                    reason=reason,
+                )
                 if status == QUARANTINED:
                     report.record_magnet_quarantined(reason)
                 else:

@@ -260,6 +260,57 @@ def active_robustness_overhead(
     }
 
 
+def telemetry_overhead(
+    study: StudyResults,
+    workers: Optional[int] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Cost of enabled telemetry on the hot seven-layer classification.
+
+    Interleaves an obs-disabled leg with an obs-enabled leg (fresh
+    :class:`~repro.obs.Observability` + active tracer, i.e. what
+    ``repro study --obs`` turns on) so clock drift cannot masquerade as
+    overhead, and keeps the enabled leg's run manifest so
+    ``BENCH_pipeline.json`` records what the telemetry actually
+    captured.  CI gates on ``overhead_pct``.
+    """
+    from repro.obs import Observability, Tracer, build_manifest, using
+
+    off_s = on_s = float("inf")
+    manifest: Optional[Dict[str, object]] = None
+    for _ in range(max(repeats, 5)):
+        elapsed, _counts, _report, _stats = seven_layer_batched(
+            study, workers=workers
+        )
+        off_s = min(off_s, elapsed)
+        obs = Observability()
+        tracer = Tracer()
+        with using(obs), tracer.activate():
+            elapsed, _counts, _report, _stats = seven_layer_batched(
+                study, workers=workers
+            )
+        on_s = min(on_s, elapsed)
+        manifest = build_manifest(
+            obs,
+            tracer,
+            kind="bench",
+            config=study.config,
+            topology_seed=study.config.seed,
+            meta={
+                "benchmark": "seven_layer_batched",
+                "decisions": len(study.decisions),
+                "layers": list(FIGURE1_LAYERS),
+            },
+        ).to_dict()
+    overhead = round((on_s / off_s - 1.0) * 100.0, 2) if off_s else None
+    return {
+        "disabled_seconds": round(off_s, 6),
+        "enabled_seconds": round(on_s, 6),
+        "overhead_pct": overhead,
+        "manifest": manifest,
+    }
+
+
 def run_benchmark(
     study: StudyResults,
     workers: Optional[int] = None,
@@ -315,6 +366,9 @@ def run_benchmark(
             study, batched_s, workers=workers, repeats=repeats
         ),
         "active_robustness": active_robustness_overhead(study, repeats=repeats),
+        "telemetry_overhead": telemetry_overhead(
+            study, workers=workers, repeats=repeats
+        ),
     }
 
 
@@ -366,6 +420,21 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--out", default=DEFAULT_BENCH_PATH, help="trajectory file path"
     )
+    parser.add_argument(
+        "--section",
+        choices=("all", "obs"),
+        default="all",
+        help="'obs' measures and merges only the telemetry_overhead "
+        "section, leaving the other recorded sections untouched",
+    )
+    parser.add_argument(
+        "--check-obs-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero if telemetry overhead on the classification "
+        "benchmark exceeds PCT percent",
+    )
     args = parser.parse_args(argv)
 
     # Fail fast on bad knobs before the (slow) study build.
@@ -383,6 +452,33 @@ def main(argv: Optional[list] = None) -> int:
         quick_study(seed=args.seed) if args.quick else default_study(seed=args.seed)
     )
     build_seconds = time.perf_counter() - build_start
+
+    def check_gate(telemetry: Dict[str, object]) -> int:
+        overhead = telemetry["overhead_pct"]
+        label = "n/a" if overhead is None else f"{overhead:+.1f}%"
+        print(
+            f"telemetry (obs enabled): "
+            f"{telemetry['disabled_seconds']:.3f}s -> "
+            f"{telemetry['enabled_seconds']:.3f}s ({label})"
+        )
+        if args.check_obs_overhead is not None and (
+            overhead is None or overhead > args.check_obs_overhead
+        ):
+            print(
+                f"FAIL: telemetry overhead {overhead}% exceeds "
+                f"{args.check_obs_overhead}% budget"
+            )
+            return 1
+        return 0
+
+    if args.section == "obs":
+        telemetry = telemetry_overhead(
+            study, workers=workers, repeats=args.repeats
+        )
+        path = write_bench_file({"telemetry_overhead": telemetry}, args.out)
+        failed = check_gate(telemetry)
+        print(f"wrote {path}")
+        return failed
 
     payload = run_benchmark(study, workers=workers, repeats=args.repeats)
     payload["study_build_seconds"] = round(build_seconds, 3)
@@ -422,8 +518,11 @@ def main(argv: Optional[list] = None) -> int:
         f"{active['discovery_targets']} targets, "
         f"{active['magnet_rounds']} magnet rounds)"
     )
+    failed = check_gate(payload["telemetry_overhead"])
     print(f"wrote {path}")
-    return 0 if cls["results_identical"] else 1
+    if not cls["results_identical"]:
+        return 1
+    return failed
 
 
 if __name__ == "__main__":

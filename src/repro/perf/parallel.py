@@ -32,6 +32,9 @@ from repro.core.classification import (
     label_grouped,
 )
 from repro.core.gao_rexford import GaoRexfordEngine, RoutingInfo
+from repro.obs.context import get_obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 
 #: Environment knob for the precompute pool size.  ``0`` or ``1``
 #: forces serial; unset falls back to the CPU count.
@@ -81,21 +84,29 @@ class PrecomputeReport:
 # Pool worker plumbing (module level for picklability)
 # ---------------------------------------------------------------------------
 
-#: Per-worker state: engine specs from the initializer payload and the
-#: engines lazily built from them.
+#: Per-worker state: engine specs from the initializer payload, the
+#: engines lazily built from them, and whether to collect metrics.
 _worker_specs: Optional[List[Tuple[object, FrozenSet[Tuple[int, int]]]]] = None
 _worker_engines: Dict[int, GaoRexfordEngine] = {}
+_worker_collect_metrics = False
 
 
 def _pool_init(payload: bytes) -> None:
-    global _worker_specs, _worker_engines
-    _worker_specs = pickle.loads(payload)
+    global _worker_specs, _worker_engines, _worker_collect_metrics
+    _worker_specs, _worker_collect_metrics = pickle.loads(payload)
     _worker_engines = {}
 
 
 def _pool_build(
     task: Tuple[int, Sequence[TreeKey]]
-) -> Tuple[int, List[Tuple[TreeKey, RoutingInfo]]]:
+) -> Tuple[int, List[Tuple[TreeKey, RoutingInfo]], Optional[Dict]]:
+    """Build one chunk of routing trees in a worker process.
+
+    Returns the engine index, the built trees, and — when the parent
+    enabled telemetry — a metric snapshot covering just this chunk.
+    Snapshots merge associatively in the parent, so the nondeterministic
+    completion order of chunks cannot change the merged totals.
+    """
     engine_index, keys = task
     assert _worker_specs is not None, "pool used without initializer"
     engine = _worker_engines.get(engine_index)
@@ -103,9 +114,16 @@ def _pool_build(
         graph, partial = _worker_specs[engine_index]
         engine = GaoRexfordEngine(graph, partial_transit=partial)
         _worker_engines[engine_index] = engine
-    return engine_index, [
-        (key, engine.routing_info(key[0], key[1])) for key in keys
-    ]
+    results = [(key, engine.routing_info(key[0], key[1])) for key in keys]
+    snapshot: Optional[Dict] = None
+    if _worker_collect_metrics:
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_precompute_trees_total",
+            "Routing trees built by precompute workers.",
+        ).labels(engine=str(engine_index)).inc(len(results))
+        snapshot = registry.snapshot()
+    return engine_index, results, snapshot
 
 
 def _sortable(key: TreeKey) -> Tuple[int, int, Tuple[int, ...]]:
@@ -134,6 +152,11 @@ class ParallelClassifier:
         self.min_parallel_trees = min_parallel_trees
         self.chunk_size = max(1, chunk_size)
         self.last_report: Optional[PrecomputeReport] = None
+        #: Layer name -> {"delta": ..., "cumulative": ...} cache stats
+        #: from the most recent :meth:`classify_layers` call.  The
+        #: engine's counters are cumulative across layers, so the delta
+        #: is what each layer actually did (see ``CacheStats.delta``).
+        self.last_layer_cache_stats: Dict[str, Dict[str, Dict[str, float]]] = {}
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -185,21 +208,62 @@ class ParallelClassifier:
             self.last_report = report
             return report
         if self.workers <= 1 or total_missing < self.min_parallel_trees:
-            for engine, keys in zip(engines, missing):
-                for destination, allowed in keys:
-                    engine.routing_info(destination, allowed)
+            # Serial fallback: this work runs in-process, inside whatever
+            # stage span is currently open (e.g. the pipeline's
+            # ``figure1``).  Emitting it as a *child* span is what keeps
+            # stage timings single-counted — a sibling/top-level timer
+            # here would book the same seconds twice.
+            with span(
+                "precompute_serial", trees=total_missing, reused=reused
+            ):
+                for engine, keys in zip(engines, missing):
+                    for destination, allowed in keys:
+                        engine.routing_info(destination, allowed)
+            self._record_precompute(report)
             self.last_report = report
             return report
-        self._precompute_pool(engines, missing)
+        with span(
+            "precompute_pool",
+            trees=total_missing,
+            reused=reused,
+            workers=self.workers,
+        ):
+            self._precompute_pool(engines, missing)
         report.parallel = True
+        self._record_precompute(report)
         self.last_report = report
         return report
+
+    def _record_precompute(self, report: PrecomputeReport) -> None:
+        metrics = get_obs().metrics
+        if not metrics.enabled:
+            return
+        mode = "parallel" if report.parallel else "serial"
+        metrics.counter(
+            "repro_precompute_runs_total",
+            "Precompute passes, by execution mode.",
+        ).labels(mode=mode).inc()
+        if not report.parallel:
+            # Pool runs are recorded by the workers themselves (their
+            # snapshots merge in during `_precompute_pool`).
+            metrics.counter(
+                "repro_precompute_trees_total",
+                "Routing trees built by precompute workers.",
+            ).labels(engine="serial").inc(report.trees_computed)
+        metrics.counter(
+            "repro_precompute_trees_reused_total",
+            "Routing trees already cached when precompute ran.",
+        ).inc(report.trees_reused)
 
     def _precompute_pool(
         self, engines: Sequence[GaoRexfordEngine], missing: Sequence[List[TreeKey]]
     ) -> None:
+        metrics = get_obs().metrics
         payload = pickle.dumps(
-            [(engine.graph, engine.partial_transit) for engine in engines],
+            (
+                [(engine.graph, engine.partial_transit) for engine in engines],
+                metrics.enabled,
+            ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         tasks: List[Tuple[int, List[TreeKey]]] = []
@@ -210,10 +274,12 @@ class ParallelClassifier:
         with ProcessPoolExecutor(
             max_workers=self.workers, initializer=_pool_init, initargs=(payload,)
         ) as pool:
-            for engine_index, results in pool.map(_pool_build, tasks):
+            for engine_index, results, snapshot in pool.map(_pool_build, tasks):
                 engine = engines[engine_index]
                 for (destination, allowed), info in results:
                     engine.warm(destination, allowed, info)
+                if snapshot is not None:
+                    metrics.merge_snapshot(snapshot)
 
     # ------------------------------------------------------------------
     # Batched grading over warm caches
@@ -233,15 +299,36 @@ class ParallelClassifier:
         configs = list(layers.values())
         groupings = self._groupings(decisions, configs)
         self._precompute_grouped(list(zip(configs, groupings)))
-        return {
-            name: classify_grouped(
-                grouped,
-                layer.engine,
-                complex_rel=layer.complex_rel,
-                siblings=layer.siblings,
-            )
-            for (name, layer), grouped in zip(layers.items(), groupings)
-        }
+        metrics = get_obs().metrics
+        results: Dict[str, LabelCounts] = {}
+        self.last_layer_cache_stats = {}
+        for (name, layer), grouped in zip(layers.items(), groupings):
+            baseline = layer.engine.cache_stats()
+            with span("classify_layer", layer=name):
+                results[name] = classify_grouped(
+                    grouped,
+                    layer.engine,
+                    complex_rel=layer.complex_rel,
+                    siblings=layer.siblings,
+                )
+            cumulative = layer.engine.cache_stats()
+            delta = cumulative.delta(baseline)
+            self.last_layer_cache_stats[name] = {
+                "delta": delta.as_dict(),
+                "cumulative": cumulative.as_dict(),
+            }
+            if metrics.enabled:
+                hits = metrics.counter(
+                    "repro_routing_cache_hits_total",
+                    "Routing-cache hits during layer grading.",
+                )
+                misses = metrics.counter(
+                    "repro_routing_cache_misses_total",
+                    "Routing-cache misses during layer grading.",
+                )
+                hits.labels(layer=name).inc(delta.hits)
+                misses.labels(layer=name).inc(delta.misses)
+        return results
 
     def label_layer(
         self,
@@ -252,12 +339,13 @@ class ParallelClassifier:
         decisions = decisions if isinstance(decisions, list) else list(decisions)
         grouped = GroupedDecisions(decisions, layer.first_hops_for)
         self._precompute_grouped([(layer, grouped)])
-        return label_grouped(
-            grouped,
-            layer.engine,
-            complex_rel=layer.complex_rel,
-            siblings=layer.siblings,
-        )
+        with span("label_layer", decisions=len(decisions)):
+            return label_grouped(
+                grouped,
+                layer.engine,
+                complex_rel=layer.complex_rel,
+                siblings=layer.siblings,
+            )
 
     def _groupings(
         self, decisions: List[Decision], layers: Sequence[LayerConfig]

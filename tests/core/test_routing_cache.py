@@ -194,3 +194,43 @@ class TestFrozenSetInterner:
         b = interner.intern(frozenset({2}))
         assert a is not b
         assert len(interner) == 2
+
+
+class TestStatsResetAndDelta:
+    """Per-layer cache accounting (counters are cumulative by default)."""
+
+    def test_reset_stats_zeroes_counters_keeps_entries(self):
+        cache = RoutingCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.reset_stats()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+        # The cached entry survived the counter reset.
+        assert stats.size == 1
+        assert cache.get("a") == 1
+
+    def test_engine_reset_stats_keeps_trees(self):
+        graph = _star_graph()
+        engine = GaoRexfordEngine(graph)
+        tree = engine.routing_info(9)
+        engine.reset_stats()
+        assert engine.cache_stats().lookups == 0
+        assert engine.cache_stats().size == 1
+        # Same tree object: reset did not drop the cache.
+        assert engine.routing_info(9) is tree
+        assert engine.cache_stats().hits == 1
+
+    def test_delta_subtracts_baseline(self):
+        graph = _star_graph()
+        engine = GaoRexfordEngine(graph)
+        engine.routing_info(9)  # miss
+        baseline = engine.cache_stats()
+        engine.routing_info(9)  # hit
+        engine.routing_info(9)  # hit
+        delta = engine.cache_stats().delta(baseline)
+        assert (delta.hits, delta.misses) == (2, 0)
+        # Size reflects the current cache, not a difference.
+        assert delta.size == engine.cache_stats().size
+        assert delta.maxsize == engine.cache_stats().maxsize

@@ -1,0 +1,143 @@
+"""CLI surface of the telemetry subsystem: ``repro obs report``, the
+``--obs-out`` study flag, and the declared console entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import (
+    Observability,
+    RunManifest,
+    Tracer,
+    build_manifest,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _manifest_file(tmp_path, jsonl=False) -> str:
+    obs = Observability()
+    obs.metrics.counter("repro_decisions_total", "Decisions.").inc(5)
+    obs.events.publish("fault", "atlas/dns:timeout", key="1/n")
+    tracer = Tracer()
+    with tracer.span("stage"):
+        pass
+    manifest = build_manifest(
+        obs, tracer, kind="study", config={"seed": 1}, topology_seed=1
+    )
+    if jsonl:
+        return write_jsonl(manifest, str(tmp_path / "run.jsonl"))
+    return manifest.save(str(tmp_path / "run.json"))
+
+
+class TestObsReport:
+    def test_report_renders_summary(self, tmp_path, capsys):
+        path = _manifest_file(tmp_path)
+        assert main(["obs", "report", path]) == 0
+        output = capsys.readouterr().out
+        assert "== run manifest (study) ==" in output
+        assert "repro_decisions_total" in output
+        assert "faults fired:" in output
+
+    def test_report_reads_jsonl_export(self, tmp_path, capsys):
+        path = _manifest_file(tmp_path, jsonl=True)
+        assert main(["obs", "report", path]) == 0
+        assert "repro_decisions_total" in capsys.readouterr().out
+
+    def test_report_writes_exports(self, tmp_path, capsys):
+        path = _manifest_file(tmp_path)
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    path,
+                    "--prometheus",
+                    str(prom),
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        assert "# TYPE repro_decisions_total counter" in prom.read_text()
+        restored = RunManifest.load(str(jsonl))
+        assert restored.to_dict() == RunManifest.load(path).to_dict()
+
+    def test_report_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_report_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+
+class TestStudyObsFlags:
+    def test_study_obs_out_writes_manifest(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "study",
+                    "--small",
+                    "--experiment",
+                    "figure1",
+                    "--obs-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "wrote run manifest" in capsys.readouterr().out
+        manifest = RunManifest.load(str(out))
+        assert manifest.kind == "study"
+        assert manifest.stage_timings()
+        # The written manifest feeds straight back into the report command.
+        assert main(["obs", "report", str(out)]) == 0
+
+
+class TestConsoleEntryPoint:
+    """The ``repro`` command is declared and resolves to the CLI main."""
+
+    def _declared_entry_point(self):
+        # Prefer installed metadata; fall back to pyproject.toml so the
+        # test also passes in source checkouts that never ran pip.
+        try:
+            from importlib.metadata import entry_points
+
+            try:
+                scripts = entry_points(group="console_scripts")
+            except TypeError:  # Python 3.9 API
+                scripts = entry_points().get("console_scripts", [])
+            for script in scripts:
+                if script.name == "repro":
+                    return script.value
+        except Exception:
+            pass
+        import pathlib
+        import re
+
+        pyproject = (
+            pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        match = re.search(
+            r'^repro\s*=\s*"([^"]+)"',
+            pyproject.read_text(encoding="utf-8"),
+            re.MULTILINE,
+        )
+        return match.group(1) if match else None
+
+    def test_entry_point_resolves_and_runs(self, tmp_path, capsys):
+        import importlib
+
+        value = self._declared_entry_point()
+        assert value == "repro.cli:main"
+        module_name, _, attr = value.partition(":")
+        entry_main = getattr(importlib.import_module(module_name), attr)
+        # The resolved callable drives `repro obs report` end to end.
+        path = _manifest_file(tmp_path)
+        assert entry_main(["obs", "report", path]) == 0
+        assert "== run manifest" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Round-trip tests for manifests and their exporters."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Observability,
+    RunManifest,
+    Tracer,
+    build_manifest,
+    config_digest,
+    from_jsonl,
+    render_summary,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _sample_manifest() -> RunManifest:
+    obs = Observability()
+    obs.metrics.counter("repro_decisions_total", "Decisions.").inc(42)
+    obs.metrics.counter("repro_hits_total").labels(layer="Simple").inc(7)
+    obs.metrics.gauge("repro_cache_size").set(128)
+    hist = obs.metrics.histogram("repro_stage_seconds", buckets=[0.1, 1.0])
+    hist.observe(0.05)
+    hist.observe(0.5)
+    obs.events.publish("fault", "atlas/dns:timeout", key="1/n")
+    obs.events.publish("retry", "attempt", site="atlas/dns", attempt=1)
+    tracer = Tracer()
+    with tracer.span("stage", layer="Simple"):
+        with tracer.span("inner"):
+            pass
+    return build_manifest(
+        obs,
+        tracer,
+        kind="test",
+        config={"seed": 3, "scenario": "quick"},
+        topology_seed=3,
+        fault_plan_seed=11,
+        fault_plan_fingerprint="abc123",
+        meta={"decisions": 42},
+    )
+
+
+class TestManifest:
+    def test_json_round_trip(self):
+        manifest = _sample_manifest()
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored.to_dict() == manifest.to_dict()
+
+    def test_save_load_json_and_jsonl(self, tmp_path):
+        manifest = _sample_manifest()
+        json_path = str(tmp_path / "run.json")
+        jsonl_path = str(tmp_path / "run.jsonl")
+        manifest.save(json_path)
+        write_jsonl(manifest, jsonl_path)
+        # load() detects the format from the content, not the extension.
+        assert RunManifest.load(json_path).to_dict() == manifest.to_dict()
+        assert RunManifest.load(jsonl_path).to_dict() == manifest.to_dict()
+
+    def test_newer_schema_rejected(self):
+        data = _sample_manifest().to_dict()
+        data["schema"] = MANIFEST_SCHEMA + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            RunManifest.from_dict(data)
+
+    def test_stage_timings_view(self):
+        manifest = _sample_manifest()
+        timings = manifest.stage_timings()
+        assert set(timings) == {"stage"}
+        assert manifest.total_seconds() == pytest.approx(
+            timings["stage"], abs=1e-5
+        )
+
+    def test_fault_counts_view(self):
+        manifest = _sample_manifest()
+        assert manifest.fault_counts() == {"atlas/dns:timeout": 1}
+
+    def test_config_digest_stable_and_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+        assert len(config_digest({"a": 1})) == 16
+
+
+class TestJsonl:
+    def test_round_trip_equality(self):
+        manifest = _sample_manifest()
+        restored = from_jsonl(to_jsonl(manifest))
+        assert restored.to_dict() == manifest.to_dict()
+
+    def test_every_line_is_json(self):
+        text = to_jsonl(_sample_manifest())
+        kinds = [json.loads(line)["kind"] for line in text.splitlines()]
+        assert kinds[0] == "header"
+        assert kinds.count("metrics") == 1
+        assert kinds.count("span") == 1  # one root span
+        assert kinds.count("event") == 2
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError, match="bad JSONL manifest line"):
+            from_jsonl('{"kind": "header"}\nnot json\n')
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown JSONL manifest record"):
+            from_jsonl('{"kind": "mystery"}\n')
+
+
+#: One Prometheus sample line: name{optional labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+class TestPrometheus:
+    def test_text_format_valid(self):
+        text = to_prometheus(_sample_manifest())
+        assert text.endswith("\n")
+        typed = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split()
+                assert kind in {"counter", "gauge", "histogram"}
+                typed.add(name)
+            elif not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+        assert "repro_decisions_total" in typed
+        assert "repro_stage_seconds" in typed
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = to_prometheus(_sample_manifest())
+        buckets = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_stage_seconds_bucket")
+        ]
+        assert [b.split()[-1] for b in buckets] == ["1", "2", "2"]
+        assert 'le="+Inf"' in buckets[-1]
+        assert "repro_stage_seconds_count 2" in text
+
+    def test_labeled_series_rendered(self):
+        text = to_prometheus(_sample_manifest())
+        assert 'repro_hits_total{layer="Simple"} 7' in text
+
+
+class TestSummary:
+    def test_summary_mentions_all_sections(self):
+        manifest = _sample_manifest()
+        text = render_summary(manifest)
+        assert "== run manifest (test) ==" in text
+        assert "stage" in text and "inner" in text
+        assert "repro_decisions_total" in text
+        assert "fault:atlas/dns:timeout" in text
+        assert "faults fired:" in text
+
+    def test_summary_caps_metric_rows(self):
+        obs = Observability()
+        counter = obs.metrics.counter("many_total")
+        for index in range(30):
+            counter.labels(index=index).inc()
+        manifest = build_manifest(obs, None, kind="test")
+        text = render_summary(manifest, top_metrics=5)
+        assert "... 25 more series" in text

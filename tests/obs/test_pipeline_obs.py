@@ -1,0 +1,105 @@
+"""Study-level telemetry: manifests, per-layer cache stats, determinism."""
+
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.obs import Observability, using
+from repro.topogen.config import small_config
+
+pytestmark = pytest.mark.obs
+
+
+def _quick_config(seed: int = 0) -> StudyConfig:
+    # Mirrors repro.experiments.scenario.quick_study (the `study` fixture).
+    return StudyConfig(
+        topology=small_config(),
+        seed=seed,
+        num_probes=400,
+        probes_per_continent=25,
+        active_vp_budget=40,
+        max_discovery_targets=20,
+    )
+
+
+@pytest.fixture(scope="module")
+def obs_study():
+    """The quick scenario run with full telemetry enabled."""
+    with using(Observability()):
+        return Study(_quick_config()).run()
+
+
+class TestManifestProduction:
+    def test_manifest_present_and_complete(self, obs_study):
+        manifest = obs_study.manifest
+        assert manifest is not None
+        assert manifest.kind == "study"
+        assert manifest.config_digest
+        assert manifest.topology_seed == 0
+        # The span tree reproduces the flat stage timings exactly.
+        assert manifest.stage_timings() == obs_study.stage_timings
+        # Core stages are present as top-level spans.
+        for stage in ("topology", "campaign", "figure1", "label_decisions"):
+            assert stage in manifest.stage_timings()
+        # The classifier's nested spans landed under figure1.
+        figure1 = next(s for s in manifest.spans if s["name"] == "figure1")
+        child_names = {child["name"] for child in figure1.get("children", [])}
+        assert child_names & {"precompute_serial", "precompute_pool"}
+        assert "classify_layer" in child_names
+
+    def test_manifest_metrics_recorded(self, obs_study):
+        counters = obs_study.manifest.metrics["counters"]
+        assert (
+            counters["repro_decisions_extracted_total"]["series"][""]
+            == len(obs_study.decisions)
+        )
+        assert "repro_routing_cache_hits_total" in counters
+        assert "repro_campaign_measurements_total" in counters
+
+    def test_manifest_meta_and_events(self, obs_study):
+        manifest = obs_study.manifest
+        assert manifest.meta["decisions"] == len(obs_study.decisions)
+        assert manifest.meta["resumed"] is False
+        # The active phase ran simulations, so BGP events were published.
+        assert any(
+            key.startswith("bgp:") for key in manifest.event_counts
+        )
+
+    def test_no_manifest_when_disabled(self, study):
+        assert study.manifest is None
+        # ... but stage timings are recorded regardless.
+        assert study.stage_timings
+
+
+class TestLayerCacheStats:
+    def test_per_layer_deltas_and_cumulative(self, obs_study):
+        stats = obs_study.layer_cache_stats
+        assert set(stats) == set(obs_study.figure1)
+        for name, layer_stats in stats.items():
+            assert set(layer_stats) == {"delta", "cumulative"}
+            delta, cumulative = layer_stats["delta"], layer_stats["cumulative"]
+            for key in ("hits", "misses", "evictions"):
+                assert 0 <= delta[key] <= cumulative[key], (name, key)
+        # The regression guarded here: without reset/subtraction every
+        # layer after the first reported its engine's lifetime counters.
+        # With real deltas, later layers must differ from cumulative.
+        assert any(
+            s["delta"]["hits"] < s["cumulative"]["hits"]
+            for s in stats.values()
+        )
+        # Work happened: the grading pass hits the routing cache.
+        assert sum(s["delta"]["hits"] for s in stats.values()) > 0
+
+    def test_recorded_without_obs_too(self, study):
+        # The per-layer view is plain bookkeeping, not telemetry.
+        assert set(study.layer_cache_stats) == set(study.figure1)
+
+
+class TestDeterminism:
+    def test_results_identical_with_and_without_obs(self, study, obs_study):
+        """Enabling telemetry must not perturb any study output."""
+        assert obs_study.figure1 == study.figure1
+        assert obs_study.probe_table == study.probe_table
+        assert obs_study.domestic_rows == study.domestic_rows
+        assert len(obs_study.decisions) == len(study.decisions)
+        assert len(obs_study.psp_cases_1) == len(study.psp_cases_1)
+        assert len(obs_study.psp_cases_2) == len(study.psp_cases_2)
