@@ -33,8 +33,14 @@ class DecisionStep(enum.Enum):
     ROUTER_ID = "router id"
 
 
-def _preference_key(route: Route) -> Tuple[int, int, int, int, int]:
-    """Sort key: smaller is better on every component."""
+def preference_key(route: Route) -> Tuple[int, int, int, int, int]:
+    """Sort key: smaller is better on every component.
+
+    Public so equivalence tooling (:mod:`repro.check`) can assert that
+    the whole decision process is exactly "minimize this tuple" — the
+    reference oracle deliberately avoids it and compares attribute by
+    attribute instead.
+    """
     return (
         -route.local_pref,
         route.path_length(),
@@ -44,9 +50,13 @@ def _preference_key(route: Route) -> Tuple[int, int, int, int, int]:
     )
 
 
+#: Back-compat alias for the pre-seam private name.
+_preference_key = preference_key
+
+
 def compare_routes(a: Route, b: Route) -> int:
     """Negative if ``a`` is preferred over ``b``, positive if worse, 0 if tied."""
-    key_a, key_b = _preference_key(a), _preference_key(b)
+    key_a, key_b = preference_key(a), preference_key(b)
     if key_a < key_b:
         return -1
     if key_a > key_b:
@@ -56,7 +66,7 @@ def compare_routes(a: Route, b: Route) -> int:
 
 def rank_routes(routes: Iterable[Route]) -> List[Route]:
     """Routes sorted most-preferred first."""
-    return sorted(routes, key=_preference_key)
+    return sorted(routes, key=preference_key)
 
 
 def best_route(routes: Sequence[Route]) -> Tuple[Optional[Route], Optional[DecisionStep]]:

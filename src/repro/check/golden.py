@@ -1,0 +1,160 @@
+"""Golden-run regression gates.
+
+A golden snapshot pins the canonical seeded study's observable outputs
+— dataset sizes, per-layer Figure-1 label counts, and the measured
+column of every experiment report (figures 1-3, tables 1-4, the
+auxiliary harnesses) — as deterministic JSON under ``tests/golden/``.
+
+The workflow mirrors every snapshot-testing tool:
+
+* ``repro check run``  — differential/oracle checks (no goldens);
+* ``repro check diff`` — recompute the snapshot and compare against
+  the blessed file, listing every drifted path;
+* ``repro check bless`` — overwrite the blessed file with the current
+  snapshot (run after an *intentional* behavior change, with the diff
+  pasted into the PR description).
+
+Serialization is byte-deterministic (sorted keys, fixed indentation,
+rounded floats, trailing newline) so ``bless`` round-trips identically
+and CI can diff artifacts textually.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import StudyResults
+
+#: Bump when the snapshot shape changes (forces a re-bless).
+SCHEMA_VERSION = 1
+
+#: Default directory of blessed snapshots, relative to the repo root.
+DEFAULT_GOLDEN_DIR = os.path.join("tests", "golden")
+
+#: The seed every golden snapshot is computed at.
+GOLDEN_SEED = 0
+
+
+def _experiment_rows(results: StudyResults) -> Dict[str, object]:
+    """The measured column of every experiment report."""
+    from repro.cli import _EXPERIMENTS
+
+    experiments: Dict[str, object] = {}
+    for experiment_id, module_path in _EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        try:
+            report = module.run(results)
+        except ValueError as error:
+            experiments[experiment_id] = {"skipped": str(error)}
+            continue
+        experiments[experiment_id] = {
+            "rows": {
+                row.label: (
+                    None if row.measured is None else round(row.measured, 6)
+                )
+                for row in report.rows
+            }
+        }
+    return experiments
+
+
+def snapshot_study(results: StudyResults) -> Dict[str, object]:
+    """The golden snapshot of one study's outputs."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "scenario": {"seed": results.config.seed, "scale": "quick"},
+        "dataset": {
+            "ases": len(results.internet.graph),
+            "inferred_links": results.inferred.num_links(),
+            "selected_probes": len(results.selected_probes),
+            "measurements": len(results.dataset.measurements),
+            "decisions": len(results.decisions),
+            "psp_cases_1": len(results.psp_cases_1),
+            "psp_cases_2": len(results.psp_cases_2),
+        },
+        "figure1": results.figure1_counts(),
+        "experiments": _experiment_rows(results),
+    }
+
+
+def compute_snapshot(seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run the canonical quick study and snapshot it."""
+    from repro.experiments.scenario import quick_study
+
+    return snapshot_study(quick_study(seed))
+
+
+def serialize(snapshot: Dict[str, object]) -> str:
+    """Byte-deterministic JSON rendering of a snapshot."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(directory: str = DEFAULT_GOLDEN_DIR, seed: int = GOLDEN_SEED) -> str:
+    return os.path.join(directory, f"study_quick_seed{seed}.json")
+
+
+def load(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bless(
+    snapshot: Dict[str, object],
+    directory: str = DEFAULT_GOLDEN_DIR,
+    seed: int = GOLDEN_SEED,
+) -> str:
+    """Write ``snapshot`` as the blessed golden; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = golden_path(directory, seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(snapshot))
+    return path
+
+
+def diff_snapshots(
+    blessed: object, current: object, path: str = ""
+) -> List[str]:
+    """Human-readable list of every leaf that differs.
+
+    Walks both structures in parallel; a drifted leaf renders as
+    ``figure1.Simple.Best/Short: 2050 -> 2049``, an added or removed
+    key as ``experiments.table2: only in blessed/current``.
+    """
+    if isinstance(blessed, dict) and isinstance(current, dict):
+        drifts: List[str] = []
+        for key in sorted(set(blessed) | set(current), key=str):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in current:
+                drifts.append(f"{child}: only in blessed")
+            elif key not in blessed:
+                drifts.append(f"{child}: only in current")
+            else:
+                drifts.extend(diff_snapshots(blessed[key], current[key], child))
+        return drifts
+    if blessed != current:
+        return [f"{path}: {blessed!r} -> {current!r}"]
+    return []
+
+
+def check_against_golden(
+    directory: str = DEFAULT_GOLDEN_DIR,
+    seed: int = GOLDEN_SEED,
+    snapshot: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    """Drift list for the current study vs the blessed golden.
+
+    A missing blessed file is reported as a single drift entry naming
+    the ``bless`` command that creates it.
+    """
+    path = golden_path(directory, seed)
+    if not os.path.exists(path):
+        return [
+            f"{path}: no blessed golden (run `repro check bless` to create it)"
+        ]
+    blessed = load(path)
+    if snapshot is None:
+        snapshot = compute_snapshot(seed)
+    return diff_snapshots(blessed, snapshot)

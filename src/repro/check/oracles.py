@@ -1,0 +1,347 @@
+"""Reference oracles: small, obviously-correct reimplementations.
+
+Each oracle recomputes one of the library's decision procedures from
+its definition, sharing as little code as possible with the optimized
+path it validates:
+
+* :func:`oracle_routing_info` — Gao-Rexford route availability by
+  naive fixpoint relaxation (no BFS/Dijkstra, no adjacency index, no
+  cache), validating :func:`repro.core.gao_rexford.compute_routing_info`
+  and the cached :class:`~repro.core.gao_rexford.GaoRexfordEngine`.
+* :func:`oracle_label` — the Best/Short grade straight from the
+  Section 3.3 definitions, with its own preference ranking, validating
+  :func:`repro.core.classification.grade_decision` and both batch
+  classifiers.
+* :func:`oracle_best_route` — the BGP decision process as an explicit
+  attribute-by-attribute tournament (no sort key), validating
+  :func:`repro.bgp.decision.best_route`.
+* :func:`OracleLPM` — longest-prefix match by linear scan over the
+  stored prefixes, validating :class:`repro.net.trie.PrefixTrie`.
+
+Everything here trades speed for inspectability: quadratic loops and
+dict scans are fine, caching and parallelism are forbidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.bgp.routes import Route
+from repro.core.classification import Decision, DecisionLabel
+from repro.net.ip import IPAddress, Prefix
+from repro.topology.graph import ASGraph
+from repro.topology.complex_rel import ComplexRelationships
+from repro.topology.relationships import Relationship
+from repro.whois.siblings import SiblingGroups
+
+_INF = float("inf")
+
+#: The Gao-Rexford preference order, written out rather than taken from
+#: ``Relationship.rank`` so a bug there cannot hide from the oracle.
+_ORACLE_RANK = {
+    Relationship.CUSTOMER: 0,
+    Relationship.SIBLING: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+# ---------------------------------------------------------------------------
+# Gao-Rexford path availability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OracleRoutingInfo:
+    """Route availability toward one destination, per relationship class.
+
+    Distances are AS-path lengths in edges, exactly the contract of
+    :class:`repro.core.gao_rexford.RoutingInfo` (minus parent pointers,
+    which are a tie-break choice rather than part of the model).
+    """
+
+    destination: int
+    customer_dist: Dict[int, int] = field(default_factory=dict)
+    peer_dist: Dict[int, int] = field(default_factory=dict)
+    provider_dist: Dict[int, int] = field(default_factory=dict)
+
+    def best_class(self, asn: int) -> Optional[Relationship]:
+        if asn in self.customer_dist:
+            return Relationship.CUSTOMER
+        if asn in self.peer_dist:
+            return Relationship.PEER
+        if asn in self.provider_dist:
+            return Relationship.PROVIDER
+        return None
+
+    def gr_route_length(self, asn: int) -> Optional[int]:
+        if asn == self.destination:
+            return 0
+        best = self.best_class(asn)
+        if best is Relationship.CUSTOMER:
+            return self.customer_dist[asn]
+        if best is Relationship.PEER:
+            return self.peer_dist[asn]
+        if best is Relationship.PROVIDER:
+            return self.provider_dist[asn]
+        return None
+
+
+def oracle_routing_info(
+    graph: ASGraph,
+    destination: int,
+    partial_transit: FrozenSet[Tuple[int, int]] = frozenset(),
+    allowed_first_hops: Optional[FrozenSet[int]] = None,
+) -> OracleRoutingInfo:
+    """GR route availability by fixpoint relaxation.
+
+    Relaxes every edge until nothing changes, per class in model order:
+
+    1. customer routes climb provider/sibling links away from the
+       destination (shortest path over those edges alone);
+    2. peer routes are one peer hop on a neighbor's customer route;
+    3. provider routes descend customer links carrying the provider's
+       *chosen* route (customer over peer over provider), skipping
+       partial-transit edges when the provider's chosen route is
+       provider-learned.
+
+    ``allowed_first_hops`` drops announcement edges out of the
+    destination toward any neighbor not in the set (poisoning / PSP).
+    """
+    if destination not in graph:
+        raise KeyError(f"AS{destination} not in topology")
+
+    def first_hop_blocked(u: int, v: int) -> bool:
+        return (
+            u == destination
+            and allowed_first_hops is not None
+            and v not in allowed_first_hops
+        )
+
+    asns = list(graph.asns())
+
+    # Stage 1: customer routes, Bellman-Ford style until stable.
+    customer: Dict[int, int] = {destination: 0}
+    changed = True
+    while changed:
+        changed = False
+        for u in asns:
+            if u not in customer:
+                continue
+            for v, rel in graph.neighbors(u).items():
+                # The route travels u -> v where v is u's provider or
+                # sibling (v learns it from its customer/sibling u).
+                if rel not in (Relationship.PROVIDER, Relationship.SIBLING):
+                    continue
+                if first_hop_blocked(u, v):
+                    continue
+                candidate = customer[u] + 1
+                if candidate < customer.get(v, _INF):
+                    customer[v] = candidate
+                    changed = True
+
+    # Stage 2: peer routes — a single hop, no iteration needed.
+    peer: Dict[int, int] = {}
+    for u in asns:
+        if u not in customer:
+            continue
+        for v, rel in graph.neighbors(u).items():
+            if rel is not Relationship.PEER:
+                continue
+            if first_hop_blocked(u, v):
+                continue
+            candidate = customer[u] + 1
+            if candidate < peer.get(v, _INF):
+                peer[v] = candidate
+
+    # Stage 3: provider routes, fixpoint over the chosen-route export.
+    provider: Dict[int, int] = {}
+
+    def chosen(u: int) -> Optional[Tuple[int, Relationship]]:
+        if u in customer:
+            return customer[u], Relationship.CUSTOMER
+        if u in peer:
+            return peer[u], Relationship.PEER
+        if u in provider:
+            return provider[u], Relationship.PROVIDER
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for u in asns:
+            best = chosen(u)
+            if best is None:
+                continue
+            dist, via = best
+            for v, rel in graph.neighbors(u).items():
+                # The route travels u -> v where v is u's customer.
+                if rel is not Relationship.CUSTOMER:
+                    continue
+                if first_hop_blocked(u, v):
+                    continue
+                if (u, v) in partial_transit and via is Relationship.PROVIDER:
+                    continue
+                candidate = dist + 1
+                if candidate < provider.get(v, _INF):
+                    provider[v] = candidate
+                    changed = True
+
+    return OracleRoutingInfo(
+        destination=destination,
+        customer_dist=customer,
+        peer_dist=peer,
+        provider_dist=provider,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Best/Short grading
+# ---------------------------------------------------------------------------
+
+
+def oracle_label(
+    decision: Decision,
+    info: OracleRoutingInfo,
+    graph: ASGraph,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> DecisionLabel:
+    """Best/Short grade of one decision, from the paper's definitions.
+
+    Best: handing to a sibling always qualifies; otherwise the next
+    hop's relationship (hybrid-adjusted at the interconnect city) must
+    rank at least as well as the cheapest class the model offers — or
+    the model must offer nothing at all.  A next hop missing from the
+    topology can never be Best.
+
+    Short: the measured path must be no longer than the model's
+    predicted route; with no predicted route any length is Short.
+    """
+    asn, next_hop = decision.asn, decision.next_hop
+    if siblings is not None and siblings.are_siblings(asn, next_hop):
+        best = True
+    else:
+        relationship = graph.relationship(asn, next_hop)
+        if complex_rel is not None:
+            hybrid = complex_rel.hybrid_relationship(
+                asn, next_hop, decision.border_city
+            )
+            if hybrid is not None:
+                relationship = hybrid
+        if relationship is None:
+            best = False
+        else:
+            best_class = info.best_class(asn)
+            if best_class is None:
+                best = True
+            else:
+                best = _ORACLE_RANK[relationship] <= _ORACLE_RANK[best_class]
+    model_len = info.gr_route_length(asn)
+    short = model_len is None or decision.measured_len <= model_len
+    if best and short:
+        return DecisionLabel.BEST_SHORT
+    if best:
+        return DecisionLabel.BEST_LONG
+    if short:
+        return DecisionLabel.NONBEST_SHORT
+    return DecisionLabel.NONBEST_LONG
+
+
+# ---------------------------------------------------------------------------
+# BGP decision process
+# ---------------------------------------------------------------------------
+
+
+def oracle_prefers(a: Route, b: Route) -> Optional[str]:
+    """Which attribute makes ``a`` strictly preferred over ``b``.
+
+    Returns the deciding step name ("local preference", "as-path
+    length", "intradomain cost", "route age", "router id"), or ``None``
+    when ``a`` is not strictly preferred (worse or fully tied).
+    """
+    if a.local_pref != b.local_pref:
+        return "local preference" if a.local_pref > b.local_pref else None
+    if a.path_length() != b.path_length():
+        return "as-path length" if a.path_length() < b.path_length() else None
+    if a.igp_cost != b.igp_cost:
+        return "intradomain cost" if a.igp_cost < b.igp_cost else None
+    if a.age != b.age:
+        return "route age" if a.age < b.age else None
+    if a.router_id != b.router_id:
+        return "router id" if a.router_id < b.router_id else None
+    return None
+
+
+def oracle_best_route(routes: List[Route]) -> Tuple[Optional[Route], Optional[str]]:
+    """The decision process as an explicit tournament.
+
+    Walks the candidates keeping the best seen so far (earlier route
+    wins full ties, matching stable-sort semantics), then reports the
+    step that separates the winner from the best of the rest.  With a
+    single candidate the step is "only route".
+    """
+    if not routes:
+        return None, None
+    winner = routes[0]
+    for candidate in routes[1:]:
+        if oracle_prefers(candidate, winner) is not None:
+            winner = candidate
+    if len(routes) == 1:
+        return winner, "only route"
+    rest = [route for route in routes if route is not winner]
+    runner_up = rest[0]
+    for candidate in rest[1:]:
+        if oracle_prefers(candidate, runner_up) is not None:
+            runner_up = candidate
+    step = oracle_prefers(winner, runner_up)
+    # A full tie falls through every attribute; the optimized path
+    # reports the last step (router id) in that case.
+    return winner, step if step is not None else "router id"
+
+
+# ---------------------------------------------------------------------------
+# Longest-prefix match
+# ---------------------------------------------------------------------------
+
+
+class OracleLPM:
+    """Longest-prefix match by linear scan over a prefix list."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Prefix, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, prefix: Prefix, value: object) -> None:
+        self._entries[prefix] = value
+
+    def remove(self, prefix: Prefix) -> bool:
+        return self._entries.pop(prefix, None) is not None
+
+    def lookup_with_prefix(
+        self, address: IPAddress
+    ) -> Optional[Tuple[Prefix, object]]:
+        best: Optional[Tuple[Prefix, object]] = None
+        for prefix, value in self._entries.items():
+            if not prefix.contains(address):
+                continue
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+        return best
+
+    def lookup(self, address: IPAddress) -> Optional[object]:
+        match = self.lookup_with_prefix(address)
+        return None if match is None else match[1]
+
+    def lookup_all(self, address: IPAddress) -> List[Tuple[Prefix, object]]:
+        """Every covering prefix, shortest first."""
+        matches = [
+            (prefix, value)
+            for prefix, value in self._entries.items()
+            if prefix.contains(address)
+        ]
+        matches.sort(key=lambda item: item[0].length)
+        return matches

@@ -1,0 +1,253 @@
+"""Deterministic scenario generation for differential checking.
+
+A :class:`Scenario` is a small synthetic world shaped like the ones
+``repro.topogen`` produces — a tiered AS topology with relationship
+annotations — plus the refinement inputs the classifiers consume
+(sibling groups, hybrid relationships, partial-transit edges, poisoned
+announcements) and a batch of measured routing decisions to grade.
+
+Everything is derived from a single integer seed through one
+``random.Random``; the same seed always produces the same scenario, so
+a failing seed printed by the checker (or embedded in a pytest id) is a
+complete reproduction recipe.
+
+The generator deliberately produces *imperfect* measurements the way
+the real pipeline does: decisions over adjacencies missing from the
+topology, measured paths shorter and longer than the model's, and
+next hops of every relationship class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.classification import Decision
+from repro.net.ip import Prefix
+from repro.topology.complex_rel import ComplexRelationships, HybridEntry
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+from repro.whois.siblings import SiblingGroups
+
+#: Cities used for hybrid-relationship entries and border annotations.
+_CITIES = ("Paris", "Frankfurt", "Ashburn", "Tokyo", "Sydney")
+
+
+@dataclass
+class Scenario:
+    """One seeded differential-check world."""
+
+    seed: int
+    graph: ASGraph
+    #: (provider, customer) pairs with partial transit.
+    partial_transit: FrozenSet[Tuple[int, int]]
+    destinations: List[int]
+    decisions: List[Decision]
+    #: Prefix -> allowed first hops (poisoned announcements).
+    first_hops_for: Dict[Prefix, FrozenSet[int]]
+    complex_rel: Optional[ComplexRelationships]
+    siblings: Optional[SiblingGroups]
+    #: Prefix announced by each destination.
+    prefix_of: Dict[int, Prefix] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} ases={len(self.graph)} "
+            f"links={self.graph.num_links()} decisions={len(self.decisions)} "
+            f"poisoned={len(self.first_hops_for)} "
+            f"partial_transit={len(self.partial_transit)}"
+        )
+
+
+def _build_tiered_graph(rng: random.Random) -> ASGraph:
+    """A random tiered topology in the image of ``repro.topogen``.
+
+    Tier-1s peer in a (dense) mesh, mid ISPs buy transit from tier-1s
+    and peer among themselves, edge ASes buy from mids (occasionally
+    multihoming to a tier-1) and sparsely peer.
+    """
+    graph = ASGraph()
+    num_tier1 = rng.randint(2, 4)
+    num_mid = rng.randint(4, 10)
+    num_edge = rng.randint(8, 24)
+    tier1 = list(range(10, 10 + num_tier1))
+    mids = list(range(100, 100 + num_mid))
+    edges = list(range(1000, 1000 + num_edge))
+    for asn in tier1 + mids + edges:
+        graph.ensure_asn(asn)
+    for index, a in enumerate(tier1):
+        for b in tier1[index + 1 :]:
+            if rng.random() < 0.9:
+                graph.add_link(a, b, Relationship.PEER)
+    for mid in mids:
+        for provider in rng.sample(tier1, k=rng.randint(1, len(tier1))):
+            graph.add_link(provider, mid, Relationship.CUSTOMER)
+        for other in mids:
+            if other < mid and rng.random() < 0.2:
+                graph.add_link(mid, other, Relationship.PEER)
+    for edge in edges:
+        pool = mids if rng.random() < 0.85 else tier1
+        for provider in rng.sample(pool, k=min(len(pool), rng.randint(1, 2))):
+            graph.add_link(provider, edge, Relationship.CUSTOMER)
+        for other in edges:
+            if other < edge and rng.random() < 0.05:
+                graph.add_link(edge, other, Relationship.PEER)
+    return graph
+
+
+def _perturb_relationships(graph: ASGraph, rng: random.Random) -> None:
+    """Flip a few links to a random other relationship class."""
+    links = list(graph.links())
+    for a, b, _rel in rng.sample(links, k=min(len(links), rng.randint(0, 4))):
+        graph.add_link(a, b, rng.choice(list(Relationship)))
+
+
+def _make_siblings(
+    graph: ASGraph, rng: random.Random
+) -> Optional[SiblingGroups]:
+    """Turn a few adjacent pairs into sibling organizations."""
+    if rng.random() < 0.3:
+        return None
+    groups: List[FrozenSet[int]] = []
+    used: set = set()
+    links = list(graph.links())
+    rng.shuffle(links)
+    for a, b, _rel in links[: rng.randint(1, 3)]:
+        if a in used or b in used:
+            continue
+        graph.add_link(a, b, Relationship.SIBLING)
+        groups.append(frozenset((a, b)))
+        used.update((a, b))
+    return SiblingGroups(groups) if groups else None
+
+
+def _make_partial_transit(
+    graph: ASGraph, rng: random.Random
+) -> FrozenSet[Tuple[int, int]]:
+    """Mark some provider->customer edges as partial transit."""
+    candidates = [
+        (a, b) for a, b, rel in graph.links() if rel is Relationship.CUSTOMER
+    ]
+    if not candidates or rng.random() < 0.4:
+        return frozenset()
+    return frozenset(
+        rng.sample(candidates, k=min(len(candidates), rng.randint(1, 3)))
+    )
+
+
+def _make_complex(
+    graph: ASGraph, rng: random.Random
+) -> Optional[ComplexRelationships]:
+    """Hybrid (per-city) relationship entries on a few adjacencies."""
+    if rng.random() < 0.5:
+        return None
+    links = list(graph.links())
+    entries = [
+        HybridEntry(a, b, rng.choice(_CITIES), rng.choice(list(Relationship)))
+        for a, b, _rel in rng.sample(links, k=min(len(links), rng.randint(1, 3)))
+    ]
+    return ComplexRelationships(hybrid=entries)
+
+
+def _poison_announcements(
+    graph: ASGraph,
+    destinations: List[int],
+    prefix_of: Dict[int, Prefix],
+    rng: random.Random,
+) -> Dict[Prefix, FrozenSet[int]]:
+    """Restrict which neighbors some destinations announce to.
+
+    Models poisoned/scoped announcements (the lever behind the paper's
+    prefix-specific policies): each poisoned prefix reaches a random
+    non-empty subset of the destination's neighbors.  Occasionally the
+    "restriction" covers every neighbor, which must behave exactly like
+    no restriction (the canonical-key equivalence the engine claims).
+    """
+    first_hops: Dict[Prefix, FrozenSet[int]] = {}
+    for destination in destinations:
+        if rng.random() < 0.5:
+            continue
+        neighbors = sorted(graph.neighbor_set(destination))
+        if not neighbors:
+            continue
+        if rng.random() < 0.2:
+            allowed = frozenset(neighbors)
+        else:
+            allowed = frozenset(
+                rng.sample(neighbors, k=rng.randint(1, len(neighbors)))
+            )
+        first_hops[prefix_of[destination]] = allowed
+    return first_hops
+
+
+def _make_decisions(
+    graph: ASGraph,
+    destinations: List[int],
+    prefix_of: Dict[int, Prefix],
+    rng: random.Random,
+) -> List[Decision]:
+    asns = sorted(graph.asns())
+    decisions: List[Decision] = []
+    for destination in destinations:
+        for _ in range(rng.randint(3, 12)):
+            asn = rng.choice(asns)
+            if asn == destination:
+                continue
+            neighbors = sorted(graph.neighbor_set(asn))
+            if neighbors and rng.random() < 0.85:
+                next_hop = rng.choice(neighbors)
+            else:
+                # An adjacency the inferred topology misses.
+                next_hop = rng.choice(asns)
+                if next_hop in (asn,):
+                    continue
+            decisions.append(
+                Decision(
+                    asn=asn,
+                    next_hop=next_hop,
+                    destination=destination,
+                    prefix=prefix_of[destination],
+                    measured_len=rng.randint(1, 7),
+                    source_asn=rng.choice(asns),
+                    border_city=(
+                        rng.choice(_CITIES) if rng.random() < 0.4 else None
+                    ),
+                )
+            )
+    # Duplicates exercise the batched path's grade-once-fan-out logic.
+    for decision in list(decisions):
+        if rng.random() < 0.25:
+            decisions.append(decision)
+    rng.shuffle(decisions)
+    return decisions
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """The deterministic scenario for one seed."""
+    rng = random.Random(seed)
+    graph = _build_tiered_graph(rng)
+    _perturb_relationships(graph, rng)
+    siblings = _make_siblings(graph, rng)
+    partial_transit = _make_partial_transit(graph, rng)
+    complex_rel = _make_complex(graph, rng)
+
+    asns = sorted(graph.asns())
+    destinations = rng.sample(asns, k=min(len(asns), rng.randint(2, 5)))
+    prefix_of = {
+        destination: Prefix((index + 1) << 12, 20)
+        for index, destination in enumerate(destinations)
+    }
+    first_hops_for = _poison_announcements(graph, destinations, prefix_of, rng)
+    decisions = _make_decisions(graph, destinations, prefix_of, rng)
+    return Scenario(
+        seed=seed,
+        graph=graph,
+        partial_transit=partial_transit,
+        destinations=destinations,
+        decisions=decisions,
+        first_hops_for=first_hops_for,
+        complex_rel=complex_rel,
+        siblings=siblings,
+        prefix_of=prefix_of,
+    )

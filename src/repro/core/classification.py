@@ -102,53 +102,71 @@ class LabelCounts:
         return merged
 
 
-def _best_property(
+def _grade_with_state(
     decision: Decision,
-    engine: GaoRexfordEngine,
-    allowed_first_hops: Optional[FrozenSet[int]],
+    best_class: Optional[Relationship],
+    model_len: Optional[int],
+    graph: ASGraph,
     complex_rel: Optional[ComplexRelationships],
     siblings: Optional[SiblingGroups],
-) -> bool:
-    """Grade the Best property for one decision."""
+) -> DecisionLabel:
+    """Grade one decision given the model facts at its AS.
+
+    ``best_class`` and ``model_len`` are the routing tree's answers for
+    ``decision.asn`` (the only part of the tree that grading reads) —
+    every grading path, per-decision and batched, funnels through here
+    so the semantics cannot drift apart.
+    """
     if siblings is not None and siblings.are_siblings(decision.asn, decision.next_hop):
         # Traffic handed to a sibling stays inside the organization; the
         # paper marks these decisions as satisfying Best (Section 4.2).
-        return True
-    relationship = engine.graph.relationship(decision.asn, decision.next_hop)
-    if complex_rel is not None:
-        hybrid = complex_rel.hybrid_relationship(
-            decision.asn, decision.next_hop, decision.border_city
-        )
-        if hybrid is not None:
-            relationship = hybrid
-    if relationship is None:
-        # The measured adjacency is absent from the inferred topology;
-        # the model cannot call it Best.
-        return False
-    info = engine.routing_info(decision.destination, allowed_first_hops)
-    best_class = info.best_class(decision.asn)
-    if best_class is None:
-        # The model offers no route at all, so any real choice beats it.
-        return True
-    return relationship.rank() <= best_class.rank()
+        best = True
+    else:
+        relationship = graph.relationship(decision.asn, decision.next_hop)
+        if complex_rel is not None:
+            hybrid = complex_rel.hybrid_relationship(
+                decision.asn, decision.next_hop, decision.border_city
+            )
+            if hybrid is not None:
+                relationship = hybrid
+        if relationship is None:
+            # The measured adjacency is absent from the inferred
+            # topology; the model cannot call it Best.
+            best = False
+        elif best_class is None:
+            # The model offers no route at all, so any real choice
+            # beats it.
+            best = True
+        else:
+            best = relationship.rank() <= best_class.rank()
+    # Measured paths may be *shorter* than the model's prediction when
+    # they use links the inferred topology misses; those still count as
+    # Short (the AS is not taking a longer path than the model expects).
+    short = model_len is None or decision.measured_len <= model_len
+    return DecisionLabel.from_properties(best, short)
 
 
-def _short_property(
+def grade_decision(
     decision: Decision,
-    engine: GaoRexfordEngine,
-    allowed_first_hops: Optional[FrozenSet[int]],
-) -> bool:
-    """Grade the Short property for one decision.
+    info: RoutingInfo,
+    graph: ASGraph,
+    complex_rel: Optional[ComplexRelationships] = None,
+    siblings: Optional[SiblingGroups] = None,
+) -> DecisionLabel:
+    """Grade one decision against a precomputed routing tree.
 
-    Measured paths may be *shorter* than the model's prediction when
-    they use links the inferred topology misses; those still count as
-    Short (the AS is not taking a longer path than the model expects).
+    Pure function of its arguments — no engine, no cache — which makes
+    it the seam the reference oracles (:mod:`repro.check`) grade
+    through with independently computed trees.
     """
-    info = engine.routing_info(decision.destination, allowed_first_hops)
-    model_len = info.gr_route_length(decision.asn)
-    if model_len is None:
-        return True
-    return decision.measured_len <= model_len
+    return _grade_with_state(
+        decision,
+        info.best_class(decision.asn),
+        info.gr_route_length(decision.asn),
+        graph,
+        complex_rel,
+        siblings,
+    )
 
 
 def classify_decision(
@@ -159,9 +177,10 @@ def classify_decision(
     siblings: Optional[SiblingGroups] = None,
 ) -> DecisionLabel:
     """Classify one decision under a given refinement configuration."""
-    best = _best_property(decision, engine, allowed_first_hops, complex_rel, siblings)
-    short = _short_property(decision, engine, allowed_first_hops)
-    return DecisionLabel.from_properties(best, short)
+    info = engine.routing_info(decision.destination, allowed_first_hops)
+    return grade_decision(
+        decision, info, engine.graph, complex_rel=complex_rel, siblings=siblings
+    )
 
 
 def classify_decisions_serial(
@@ -325,24 +344,9 @@ def _grade_unique(
         state = (info.best_class(asn), info.gr_route_length(asn))
         node_state[asn] = state
     best_class, model_len = state
-    if siblings is not None and siblings.are_siblings(asn, decision.next_hop):
-        best = True
-    else:
-        relationship = graph.relationship(asn, decision.next_hop)
-        if complex_rel is not None:
-            hybrid = complex_rel.hybrid_relationship(
-                asn, decision.next_hop, decision.border_city
-            )
-            if hybrid is not None:
-                relationship = hybrid
-        if relationship is None:
-            best = False
-        elif best_class is None:
-            best = True
-        else:
-            best = relationship.rank() <= best_class.rank()
-    short = model_len is None or decision.measured_len <= model_len
-    return DecisionLabel.from_properties(best, short)
+    return _grade_with_state(
+        decision, best_class, model_len, graph, complex_rel, siblings
+    )
 
 
 def classify_grouped(

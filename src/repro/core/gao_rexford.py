@@ -313,103 +313,122 @@ class GaoRexfordEngine:
     # ------------------------------------------------------------------
     # Computation
     # ------------------------------------------------------------------
-    def _first_hop_ok(
-        self, neighbor: int, allowed: Optional[FrozenSet[int]]
-    ) -> bool:
-        return allowed is None or neighbor in allowed
-
     def _compute(
         self, destination: int, allowed: Optional[FrozenSet[int]]
     ) -> RoutingInfo:
-        graph = self.graph
-        if destination not in graph:
-            raise KeyError(f"AS{destination} not in topology")
-        info = RoutingInfo(destination=destination)
-        # Each stage walks one relationship class of edges; the index
-        # pre-partitions them (in neighbor-map order, so traversal and
-        # parent tie-breaking match filtering the full map in place).
-        adjacency = graph.routing_adjacency()
-        empty: Tuple[int, ...] = ()
+        return compute_routing_info(
+            self.graph,
+            destination,
+            partial_transit=self.partial_transit,
+            allowed_first_hops=allowed,
+        )
 
-        # Stage 1: customer routes propagate up provider and sibling
-        # links.  An AS x has a customer route when some customer (or
-        # sibling) of x has one.
-        customer = info.customer_dist
-        customer[destination] = 0
-        up = adjacency.up
-        queue = deque([destination])
-        while queue:
-            current = queue.popleft()
-            dist = customer[current]
-            for neighbor in up.get(current, empty):
-                # The route travels current -> neighbor where neighbor
-                # is current's provider (or sibling).
-                if current == destination and not self._first_hop_ok(neighbor, allowed):
-                    continue
-                if neighbor not in customer:
-                    customer[neighbor] = dist + 1
-                    info.customer_parent[neighbor] = current
-                    queue.append(neighbor)
 
-        # Stage 2: peer routes: one peer edge on top of a neighbor's
-        # *chosen customer* route (peers only export customer routes).
-        peer = info.peer_dist
-        peer_adj = adjacency.peers
-        for asn, dist in list(customer.items()):
-            for neighbor in peer_adj.get(asn, empty):
-                if asn == destination and not self._first_hop_ok(neighbor, allowed):
-                    continue
-                candidate = dist + 1
-                if candidate < peer.get(neighbor, _INF):
-                    peer[neighbor] = candidate
-                    info.peer_parent[neighbor] = asn
+def compute_routing_info(
+    graph: ASGraph,
+    destination: int,
+    partial_transit: FrozenSet[Tuple[int, int]] = frozenset(),
+    allowed_first_hops: Optional[FrozenSet[int]] = None,
+) -> RoutingInfo:
+    """One GR routing tree, as a pure function of its inputs.
 
-        # Stage 3: provider routes propagate down customer links.  A
-        # provider exports its *chosen* route, whose length is its
-        # customer distance if it has one, else its peer distance, else
-        # its (recursively computed) provider distance.  Unit weights
-        # make Dijkstra exact here.
-        provider = info.provider_dist
-        down = adjacency.down
+    This is the engine's whole computation with no cache in front of
+    it — the seam the differential checker (:mod:`repro.check`) drives
+    to compare cache-on, cache-off, and oracle answers.
+    """
+    allowed = allowed_first_hops
+    if destination not in graph:
+        raise KeyError(f"AS{destination} not in topology")
 
-        def chosen_fixed(asn: int) -> Optional[int]:
-            if asn in customer:
-                return customer[asn]
-            if asn in peer:
-                return peer[asn]
-            return None
+    def first_hop_ok(neighbor: int) -> bool:
+        return allowed is None or neighbor in allowed
 
-        heap: List[Tuple[int, int]] = []
-        for asn in set(customer) | set(peer):
-            fixed = chosen_fixed(asn)
-            if fixed is not None:
-                heapq.heappush(heap, (fixed, asn))
-        settled: Set[int] = set()
-        while heap:
-            dist, current = heapq.heappop(heap)
-            if current in settled:
+    info = RoutingInfo(destination=destination)
+    # Each stage walks one relationship class of edges; the index
+    # pre-partitions them (in neighbor-map order, so traversal and
+    # parent tie-breaking match filtering the full map in place).
+    adjacency = graph.routing_adjacency()
+    empty: Tuple[int, ...] = ()
+
+    # Stage 1: customer routes propagate up provider and sibling
+    # links.  An AS x has a customer route when some customer (or
+    # sibling) of x has one.
+    customer = info.customer_dist
+    customer[destination] = 0
+    up = adjacency.up
+    queue = deque([destination])
+    while queue:
+        current = queue.popleft()
+        dist = customer[current]
+        for neighbor in up.get(current, empty):
+            # The route travels current -> neighbor where neighbor
+            # is current's provider (or sibling).
+            if current == destination and not first_hop_ok(neighbor):
                 continue
-            settled.add(current)
-            for neighbor in down.get(current, empty):
-                # Route travels current -> neighbor where neighbor is a
-                # customer of current (the neighbor learns from its
-                # provider).
-                if current == destination and not self._first_hop_ok(neighbor, allowed):
-                    continue
-                # Partial transit: this provider does not hand its own
-                # provider-learned routes to this customer.
-                if (
-                    (current, neighbor) in self.partial_transit
-                    and chosen_fixed(current) is None
-                ):
-                    continue
-                candidate = dist + 1
-                if candidate < provider.get(neighbor, _INF):
-                    provider[neighbor] = candidate
-                    info.provider_parent[neighbor] = current
-                    # The neighbor re-exports downward only when this
-                    # provider route is its chosen route, i.e. it has no
-                    # customer or peer route of its own.
-                    if chosen_fixed(neighbor) is None:
-                        heapq.heappush(heap, (candidate, neighbor))
-        return info
+            if neighbor not in customer:
+                customer[neighbor] = dist + 1
+                info.customer_parent[neighbor] = current
+                queue.append(neighbor)
+
+    # Stage 2: peer routes: one peer edge on top of a neighbor's
+    # *chosen customer* route (peers only export customer routes).
+    peer = info.peer_dist
+    peer_adj = adjacency.peers
+    for asn, dist in list(customer.items()):
+        for neighbor in peer_adj.get(asn, empty):
+            if asn == destination and not first_hop_ok(neighbor):
+                continue
+            candidate = dist + 1
+            if candidate < peer.get(neighbor, _INF):
+                peer[neighbor] = candidate
+                info.peer_parent[neighbor] = asn
+
+    # Stage 3: provider routes propagate down customer links.  A
+    # provider exports its *chosen* route, whose length is its
+    # customer distance if it has one, else its peer distance, else
+    # its (recursively computed) provider distance.  Unit weights
+    # make Dijkstra exact here.
+    provider = info.provider_dist
+    down = adjacency.down
+
+    def chosen_fixed(asn: int) -> Optional[int]:
+        if asn in customer:
+            return customer[asn]
+        if asn in peer:
+            return peer[asn]
+        return None
+
+    heap: List[Tuple[int, int]] = []
+    for asn in set(customer) | set(peer):
+        fixed = chosen_fixed(asn)
+        if fixed is not None:
+            heapq.heappush(heap, (fixed, asn))
+    settled: Set[int] = set()
+    while heap:
+        dist, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        for neighbor in down.get(current, empty):
+            # Route travels current -> neighbor where neighbor is a
+            # customer of current (the neighbor learns from its
+            # provider).
+            if current == destination and not first_hop_ok(neighbor):
+                continue
+            # Partial transit: this provider does not hand its own
+            # provider-learned routes to this customer.
+            if (
+                (current, neighbor) in partial_transit
+                and chosen_fixed(current) is None
+            ):
+                continue
+            candidate = dist + 1
+            if candidate < provider.get(neighbor, _INF):
+                provider[neighbor] = candidate
+                info.provider_parent[neighbor] = current
+                # The neighbor re-exports downward only when this
+                # provider route is its chosen route, i.e. it has no
+                # customer or peer route of its own.
+                if chosen_fixed(neighbor) is None:
+                    heapq.heappush(heap, (candidate, neighbor))
+    return info

@@ -212,6 +212,23 @@ class StudyResults:
     #: (populated whenever the active phase runs).
     active_robustness: Optional[ActiveRobustnessReport] = None
 
+    def figure1_counts(self) -> Dict[str, Dict[str, int]]:
+        """Raw Figure-1 label counts per layer, as plain JSON-able data.
+
+        The canonical shape the golden-run regression gates
+        (:mod:`repro.check.golden`) snapshot and diff: layer order is
+        presentation order, label order is enum order, values are raw
+        tallies (not percentages) so a one-decision drift is visible.
+        """
+        return {
+            layer: {
+                label.value: self.figure1[layer].counts[label]
+                for label in DecisionLabel
+            }
+            for layer in FIGURE1_LAYERS
+            if layer in self.figure1
+        }
+
 
 class Study:
     """Builds and runs the full reproduction pipeline.

@@ -91,6 +91,29 @@ class PrefixTrie(Generic[V]):
                 best = (matched, node.value)  # type: ignore[assignment]
         return best
 
+    def lookup_all(self, address: IPAddress) -> list:
+        """Every stored prefix covering ``address``, shortest first.
+
+        The last element (if any) is exactly what
+        :meth:`lookup_with_prefix` returns; the full chain is what
+        coverage analyses and the longest-prefix-match oracle
+        (:mod:`repro.check`) compare against.
+        """
+        node: Optional[_Node[V]] = self._root
+        matches: list = []
+        if self._root.has_value:
+            matches.append((Prefix(0, 0), self._root.value))
+        for bit_index in range(32):
+            if node is None:
+                break
+            bit = (address.value >> (31 - bit_index)) & 1
+            node = node.children[bit]
+            if node is not None and node.has_value:
+                matches.append(
+                    (Prefix.from_address(address, bit_index + 1), node.value)
+                )
+        return matches
+
     def exact(self, prefix: Prefix) -> Optional[V]:
         """The value stored at exactly ``prefix``, or ``None``."""
         node: Optional[_Node[V]] = self._root

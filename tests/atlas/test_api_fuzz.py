@@ -116,8 +116,9 @@ class TestMutations:
 
 
 class TestSeededFuzz:
-    def test_random_mutations_never_crash_unstructured(self):
-        rng = random.Random(1234)
+    @pytest.mark.parametrize("seed", [1234, 1235, 1236])
+    def test_random_mutations_never_crash_unstructured(self, seed):
+        rng = random.Random(seed)
         names = sorted(MUTATIONS)
         for round_number in range(300):
             document = _document(num_hops=rng.randint(0, 6))
@@ -129,8 +130,9 @@ class TestSeededFuzz:
                 pass  # structured quarantine path: acceptable
             # Any other exception type fails the test by propagating.
 
-    def test_fuzzed_jsonl_quarantined_not_crashed(self):
-        rng = random.Random(99)
+    @pytest.mark.parametrize("seed", [99, 100])
+    def test_fuzzed_jsonl_quarantined_not_crashed(self, seed):
+        rng = random.Random(seed)
         names = sorted(MUTATIONS)
         lines = []
         good = 0

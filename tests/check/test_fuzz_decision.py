@@ -1,0 +1,88 @@
+"""Seeded fuzz of the BGP decision process and the LPM trie.
+
+Both batteries compare the optimized implementation against its oracle
+(:func:`oracle_best_route`, :class:`OracleLPM`) on randomized inputs
+whose seed is the pytest parameter.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp.decision import best_route, rank_routes
+from repro.check import check_bgp_decision, check_lpm
+from repro.check.differential import _random_prefix, _random_routes
+from repro.check.oracles import oracle_best_route
+from repro.net.ip import Prefix
+
+pytestmark = pytest.mark.check
+
+
+class TestBGPDecisionFuzz:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_decision_process_matches_oracle(self, seed):
+        problems = check_bgp_decision(seed, trials=20)
+        assert problems == [], "\n".join(str(p) for p in problems)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_ranking_is_a_total_order(self, seed):
+        """rank_routes must list strictly non-improving routes."""
+        rng = random.Random(seed)
+        routes = _random_routes(rng)
+        ranked = rank_routes(routes)
+        assert sorted(map(id, ranked)) == sorted(map(id, routes))
+        for earlier, later in zip(ranked, ranked[1:]):
+            winner, _step = oracle_best_route([later, earlier])
+            # The earlier route must win (or tie, in which case the
+            # oracle keeps its first argument only on a full tie).
+            if winner is later:
+                assert oracle_best_route([earlier, later])[0] is earlier
+
+    def test_fuzzer_generates_ties(self):
+        """The route generator must actually exercise the deep
+        tie-break steps, not just local preference."""
+        rng = random.Random(0)
+        steps = set()
+        for _ in range(200):
+            routes = _random_routes(rng)
+            _winner, step = best_route(routes)
+            if step is not None:
+                steps.add(step.value)
+        assert "router id" in steps
+        assert "as-path length" in steps
+        assert "local preference" in steps
+
+
+class TestLPMFuzz:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_trie_matches_linear_scan(self, seed):
+        problems = check_lpm(seed, rounds=4)
+        assert problems == [], "\n".join(str(p) for p in problems)
+
+    def test_prefix_generator_hits_boundaries(self):
+        rng = random.Random(1)
+        lengths = {_random_prefix(rng).length for _ in range(300)}
+        assert {0, 8, 16, 24, 32} <= lengths
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_default_route_tables_match_oracle(self, seed):
+        """Random tables that always include 0.0.0.0/0: every address
+        must match, and the trie must agree with the scan everywhere."""
+        from repro.check.oracles import OracleLPM
+        from repro.net.ip import IPAddress
+        from repro.net.trie import PrefixTrie
+
+        rng = random.Random(seed)
+        trie, oracle = PrefixTrie(), OracleLPM()
+        for table in (trie, oracle):
+            table.insert(Prefix(0, 0), "default")
+        for index in range(rng.randint(1, 16)):
+            prefix = _random_prefix(rng)
+            for table in (trie, oracle):
+                table.insert(prefix, index)
+        for _ in range(32):
+            address = IPAddress(rng.getrandbits(32))
+            got = trie.lookup_with_prefix(address)
+            assert got == oracle.lookup_with_prefix(address)
+            assert got is not None, "default route must always match"
+            assert trie.lookup_all(address) == oracle.lookup_all(address)

@@ -1,0 +1,138 @@
+"""Golden-run regression gates.
+
+``test_blessed_golden_matches_current_study`` is the gate proper: it
+recomputes the canonical seeded study's snapshot and compares it with
+the file blessed under ``tests/golden/``.  If it fails after an
+intentional behavior change, re-bless with ``repro check bless`` and
+include the diff in the PR description.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.check.golden import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_SEED,
+    SCHEMA_VERSION,
+    bless,
+    check_against_golden,
+    diff_snapshots,
+    golden_path,
+    load,
+    serialize,
+    snapshot_study,
+)
+
+pytestmark = pytest.mark.golden
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+
+
+@pytest.fixture(scope="module")
+def snapshot(study):
+    return snapshot_study(study)
+
+
+class TestGoldenGate:
+    def test_blessed_golden_exists(self):
+        assert os.path.exists(golden_path(GOLDEN_DIR, GOLDEN_SEED)), (
+            "no blessed golden; create it with "
+            "`PYTHONPATH=src python -m repro.cli check bless`"
+        )
+
+    def test_blessed_golden_matches_current_study(self, snapshot):
+        drifts = check_against_golden(
+            directory=GOLDEN_DIR, seed=GOLDEN_SEED, snapshot=snapshot
+        )
+        assert drifts == [], (
+            "study output drifted from the blessed golden:\n  "
+            + "\n  ".join(drifts)
+            + "\nIf intentional, re-bless with `repro check bless` and "
+            "paste this diff into the PR description."
+        )
+
+    def test_blessed_file_is_canonically_serialized(self):
+        """The on-disk bytes must equal re-serializing their parse —
+        i.e. the file was written by ``bless``, not by hand."""
+        path = golden_path(GOLDEN_DIR, GOLDEN_SEED)
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        assert serialize(load(path)) == raw
+
+    def test_schema_version_pinned(self):
+        blessed = load(golden_path(GOLDEN_DIR, GOLDEN_SEED))
+        assert blessed["schema"] == SCHEMA_VERSION
+
+
+class TestBlessRoundTrip:
+    def test_bless_round_trips_byte_identically(self, snapshot, tmp_path):
+        first = bless(snapshot, directory=str(tmp_path))
+        with open(first, "rb") as handle:
+            first_bytes = handle.read()
+        second = bless(snapshot, directory=str(tmp_path))
+        assert second == first
+        with open(second, "rb") as handle:
+            assert handle.read() == first_bytes
+        # And a parse/re-serialize cycle is also identical.
+        assert serialize(load(first)).encode() == first_bytes
+
+    def test_serialization_is_key_order_independent(self, snapshot):
+        scrambled = json.loads(
+            json.dumps(snapshot, sort_keys=False), object_pairs_hook=dict
+        )
+        assert serialize(scrambled) == serialize(snapshot)
+
+    def test_bless_creates_directory(self, snapshot, tmp_path):
+        nested = tmp_path / "deep" / "golden"
+        path = bless(snapshot, directory=str(nested))
+        assert os.path.exists(path)
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_have_no_drift(self, snapshot):
+        assert diff_snapshots(snapshot, snapshot) == []
+
+    def test_leaf_change_reported_with_path(self, snapshot):
+        mutated = copy.deepcopy(snapshot)
+        mutated["dataset"]["decisions"] += 1
+        drifts = diff_snapshots(snapshot, mutated)
+        assert len(drifts) == 1
+        assert drifts[0].startswith("dataset.decisions: ")
+
+    def test_added_and_removed_keys_reported(self, snapshot):
+        mutated = copy.deepcopy(snapshot)
+        del mutated["figure1"]
+        mutated["extra"] = 1
+        drifts = diff_snapshots(snapshot, mutated)
+        assert "figure1: only in blessed" in drifts
+        assert "extra: only in current" in drifts
+
+    def test_missing_golden_names_bless_command(self, tmp_path):
+        drifts = check_against_golden(directory=str(tmp_path), snapshot={})
+        assert len(drifts) == 1
+        assert "bless" in drifts[0]
+
+
+class TestSnapshotShape:
+    def test_snapshot_covers_dataset_figure1_and_experiments(self, snapshot):
+        assert set(snapshot) == {"schema", "scenario", "dataset", "figure1", "experiments"}
+        assert snapshot["scenario"] == {"seed": GOLDEN_SEED, "scale": "quick"}
+        from repro.core.pipeline import FIGURE1_LAYERS
+
+        assert set(snapshot["figure1"]) == set(FIGURE1_LAYERS)
+        for layer, counts in snapshot["figure1"].items():
+            assert all(isinstance(n, int) for n in counts.values()), layer
+
+    def test_every_experiment_present(self, snapshot):
+        from repro.cli import _EXPERIMENTS
+
+        assert set(snapshot["experiments"]) == set(_EXPERIMENTS)
+        for name, payload in snapshot["experiments"].items():
+            assert "rows" in payload or "skipped" in payload, name
+
+    def test_default_dir_is_tests_golden(self):
+        assert DEFAULT_GOLDEN_DIR == os.path.join("tests", "golden")

@@ -1,0 +1,69 @@
+"""Metamorphic invariants of the classification pipeline.
+
+These tests do not ask whether the optimized answer matches an oracle;
+they ask whether it behaves like the *model* under transformations with
+known effect: renumbering ASes, duplicating inputs, widening or
+narrowing announcement sets, shortening measured paths, growing the
+topology by a stub.
+"""
+
+import pytest
+
+from repro.check import check_metamorphic, generate_scenario
+from repro.check.differential import _renumber_scenario, _scenario_counts
+from repro.core.gao_rexford import GaoRexfordEngine
+from repro.topology.relationships import Relationship
+
+import random
+
+pytestmark = pytest.mark.check
+
+
+class TestMetamorphicBattery:
+    @pytest.mark.parametrize("seed", range(80))
+    def test_invariants_hold(self, seed):
+        problems = check_metamorphic(generate_scenario(seed))
+        assert problems == [], "\n".join(str(p) for p in problems)
+
+
+class TestRenumbering:
+    @pytest.mark.parametrize("seed", (0, 11, 29))
+    def test_renumbered_world_is_isomorphic(self, seed):
+        scenario = generate_scenario(seed)
+        renumbered = _renumber_scenario(scenario, random.Random(seed))
+        assert len(renumbered.graph) == len(scenario.graph)
+        assert renumbered.graph.num_links() == scenario.graph.num_links()
+        assert len(renumbered.decisions) == len(scenario.decisions)
+        assert _scenario_counts(renumbered) == _scenario_counts(scenario)
+
+    def test_renumbering_preserves_relationship_multiset(self):
+        scenario = generate_scenario(5)
+        renumbered = _renumber_scenario(scenario, random.Random(5))
+        original = sorted(rel.value for _a, _b, rel in scenario.graph.links())
+        mapped = sorted(rel.value for _a, _b, rel in renumbered.graph.links())
+        assert original == mapped
+
+
+class TestStubGrowth:
+    @pytest.mark.parametrize("seed", (2, 17))
+    def test_stub_leaf_changes_nothing_upstream(self, seed):
+        scenario = generate_scenario(seed)
+        engine = GaoRexfordEngine(
+            scenario.graph, partial_transit=scenario.partial_transit
+        )
+        grown = scenario.graph.copy()
+        stub = max(grown.asns()) + 1
+        host = min(scenario.graph.asns())
+        grown.add_link(host, stub, Relationship.CUSTOMER)
+        grown_engine = GaoRexfordEngine(
+            grown, partial_transit=scenario.partial_transit
+        )
+        for destination in scenario.destinations:
+            before = engine.routing_info(destination, None)
+            after = grown_engine.routing_info(destination, None)
+            assert after.customer_dist == before.customer_dist
+            assert after.peer_dist == before.peer_dist
+            trimmed = {
+                asn: d for asn, d in after.provider_dist.items() if asn != stub
+            }
+            assert trimmed == before.provider_dist

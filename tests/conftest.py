@@ -2,10 +2,13 @@
 
 import pytest
 
-from repro.experiments.scenario import quick_study
+from repro.experiments.scenario import DEFAULT_SEED, quick_study
+
+#: The canonical seed; goldens under tests/golden/ are blessed at it.
+STUDY_SEED = DEFAULT_SEED
 
 
 @pytest.fixture(scope="session")
 def study():
     """A small but complete study shared by integration tests."""
-    return quick_study()
+    return quick_study(STUDY_SEED)

@@ -158,9 +158,9 @@ class TestRandomizedEquivalence:
             siblings = SiblingGroups([frozenset(rng.sample(asns, k=2))])
         return graph, decisions, first_hops_for, complex_rel, siblings
 
-    @pytest.mark.parametrize("trial", range(25))
-    def test_random_trial(self, trial):
-        rng = random.Random(1000 + trial)
+    @pytest.mark.parametrize("seed", range(1000, 1025))
+    def test_random_trial(self, seed):
+        rng = random.Random(seed)
         graph, decisions, first_hops_for, complex_rel, siblings = self._random_case(
             rng
         )

@@ -86,10 +86,12 @@ class TestStudyOutputs:
 
     def test_study_results_cached(self, study):
         # Study.run() memoizes; re-running must return the same object.
-        # (quick_study is lru_cached at module level.)
+        # (quick_study is lru_cached at module level; the fixture pins
+        # the seed explicitly, so pass the same one.)
         from repro.experiments.scenario import quick_study
+        from tests.conftest import STUDY_SEED
 
-        assert quick_study() is study
+        assert quick_study(STUDY_SEED) is study
 
 
 class TestStudyDeterminism:

@@ -1,9 +1,12 @@
 """Unit and property-based tests for the longest-prefix-match trie."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check.oracles import OracleLPM
 from repro.net.ip import IPAddress, Prefix
 from repro.net.trie import PrefixTrie
 
@@ -124,3 +127,97 @@ class TestPrefixTrieProperties:
             assert trie.remove(prefix)
         assert len(trie) == 0
         assert list(trie.items()) == []
+
+
+#: Boundary lengths that stress octet edges and the root/host extremes.
+boundary_lengths = st.sampled_from(
+    [0, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32]
+)
+
+
+@st.composite
+def boundary_prefixes(draw):
+    length = draw(boundary_lengths)
+    address = draw(addresses)
+    return Prefix.from_address(IPAddress(address), length)
+
+
+class TestPrefixTrieVsOracle:
+    """Differential property tests against the linear-scan reference."""
+
+    @given(
+        st.lists(st.tuples(prefixes(), st.integers()), max_size=40), addresses
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lookup_matches_oracle(self, entries, query_value):
+        trie, oracle = PrefixTrie(), OracleLPM()
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            oracle.insert(prefix, value)
+        query = IPAddress(query_value)
+        assert trie.lookup_with_prefix(query) == oracle.lookup_with_prefix(query)
+        assert trie.lookup(query) == oracle.lookup(query)
+        assert trie.lookup_all(query) == oracle.lookup_all(query)
+
+    @given(
+        st.lists(st.tuples(boundary_prefixes(), st.integers()), max_size=30),
+        addresses,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_boundary_lengths_match_oracle(self, entries, query_value):
+        """Octet-boundary prefix lengths, where bit-walk bugs live."""
+        trie, oracle = PrefixTrie(), OracleLPM()
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            oracle.insert(prefix, value)
+        query = IPAddress(query_value)
+        assert trie.lookup_with_prefix(query) == oracle.lookup_with_prefix(query)
+        assert trie.lookup_all(query) == oracle.lookup_all(query)
+
+    @given(st.lists(prefixes(), max_size=25), addresses)
+    @settings(max_examples=100, deadline=None)
+    def test_default_route_always_matches(self, entries, query_value):
+        trie, oracle = PrefixTrie(), OracleLPM()
+        for table in (trie, oracle):
+            table.insert(Prefix(0, 0), "default")
+        for index, prefix in enumerate(entries):
+            trie.insert(prefix, index)
+            oracle.insert(prefix, index)
+        query = IPAddress(query_value)
+        matched = trie.lookup_with_prefix(query)
+        assert matched is not None
+        assert matched == oracle.lookup_with_prefix(query)
+        # The default route is always the first (shortest) covering
+        # entry (a generated /0 may have overwritten its value).
+        assert trie.lookup_all(query)[0][0] == Prefix(0, 0)
+
+    @given(
+        st.lists(prefixes(), min_size=2, max_size=30),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_removal_stays_in_sync_with_oracle(self, entries, seed):
+        rng = random.Random(seed)
+        trie, oracle = PrefixTrie(), OracleLPM()
+        for prefix in entries:
+            trie.insert(prefix, str(prefix))
+            oracle.insert(prefix, str(prefix))
+        for prefix in rng.sample(entries, k=len(entries) // 2):
+            assert trie.remove(prefix) == oracle.remove(prefix)
+        assert len(trie) == len(oracle)
+        for _ in range(8):
+            query = IPAddress(rng.getrandbits(32))
+            assert trie.lookup_with_prefix(query) == oracle.lookup_with_prefix(
+                query
+            )
+
+    def test_lookup_all_unit(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("0.0.0.0/0"), "default")
+        trie.insert(_prefix("10.0.0.0/8"), "eight")
+        trie.insert(_prefix("10.1.0.0/16"), "sixteen")
+        matches = trie.lookup_all(IPAddress.parse("10.1.2.3"))
+        assert [v for _p, v in matches] == ["default", "eight", "sixteen"]
+        assert trie.lookup_all(IPAddress.parse("203.0.113.1")) == [
+            (_prefix("0.0.0.0/0"), "default")
+        ]
