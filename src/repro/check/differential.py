@@ -5,7 +5,10 @@ and returns a list of :class:`Disagreement` records — empty when the
 optimized implementations agree with the reference oracles and every
 invariant holds.  The checks deliberately exercise the optimized code
 the way the pipeline does: warm and cold caches, batched and serial
-grading, canonical cache keys, grouped duplicate decisions.
+grading, canonical cache keys, grouped duplicate decisions — and both
+engine backends, so every scenario is a three-way differential between
+the dict reference, the CSR array kernel (``backend="array"``), and
+the fixpoint oracle.
 """
 
 from __future__ import annotations
@@ -161,10 +164,13 @@ def _check_path_consistency(
 
 
 def check_gr_trees(scenario: Scenario) -> List[Disagreement]:
-    """Engine (cached) vs pure function (uncached) vs fixpoint oracle."""
+    """Engine (cached) vs pure function (uncached) vs array kernel vs oracle."""
     problems: List[Disagreement] = []
     engine = GaoRexfordEngine(
         scenario.graph, partial_transit=scenario.partial_transit
+    )
+    engine_array = GaoRexfordEngine(
+        scenario.graph, partial_transit=scenario.partial_transit, backend="array"
     )
     for destination, allowed in _tree_variants(scenario):
         label = f"dest={destination} allowed={None if allowed is None else sorted(allowed)}"
@@ -176,6 +182,8 @@ def check_gr_trees(scenario: Scenario) -> List[Disagreement]:
             partial_transit=scenario.partial_transit,
             allowed_first_hops=allowed,
         )
+        array_info = engine_array.routing_info(destination, allowed)
+        array_rewarmed = engine_array.routing_info(destination, allowed)
         reference = oracle_routing_info(
             scenario.graph,
             destination,
@@ -188,12 +196,29 @@ def check_gr_trees(scenario: Scenario) -> List[Disagreement]:
                     "gr-tree", scenario.seed, f"{label}: cache did not hit"
                 )
             )
-        for mode, info in (("cache-on", cached), ("cache-off", uncached)):
+        if array_rewarmed is not array_info:
+            problems.append(
+                Disagreement(
+                    "gr-tree",
+                    scenario.seed,
+                    f"{label}: array backend cache did not hit",
+                )
+            )
+        for mode, info in (
+            ("cache-on", cached),
+            ("cache-off", uncached),
+            ("array", array_info),
+        ):
             problems.extend(
                 _compare_tree(scenario, f"{label} {mode}", info, reference)
             )
         problems.extend(
             _check_path_consistency(scenario, label, cached, scenario.graph)
+        )
+        problems.extend(
+            _check_path_consistency(
+                scenario, f"{label} array", array_info, scenario.graph
+            )
         )
     return problems
 
@@ -282,6 +307,29 @@ def check_labels(
             siblings=scenario.siblings,
         )
     ]
+    engine_array = GaoRexfordEngine(
+        scenario.graph, partial_transit=scenario.partial_transit, backend="array"
+    )
+    paths["array-per-decision"] = [
+        classify_decision(
+            decision,
+            engine_array,
+            allowed_first_hops=scenario.first_hops_for.get(decision.prefix),
+            complex_rel=scenario.complex_rel,
+            siblings=scenario.siblings,
+        )
+        for decision in scenario.decisions
+    ]
+    paths["array-batched"] = [
+        label
+        for _d, label in label_decisions(
+            scenario.decisions,
+            engine_array,
+            first_hops_for=scenario.first_hops_for,
+            complex_rel=scenario.complex_rel,
+            siblings=scenario.siblings,
+        )
+    ]
     if classifier is not None:
         from repro.core.classification import LayerConfig
 
@@ -328,10 +376,21 @@ def check_labels(
         complex_rel=scenario.complex_rel,
         siblings=scenario.siblings,
     )
+    counts_array = classify_decisions(
+        scenario.decisions,
+        engine_array,
+        first_hops_for=scenario.first_hops_for,
+        complex_rel=scenario.complex_rel,
+        siblings=scenario.siblings,
+    )
     tally = LabelCounts()
     for label in reference:
         tally.add(label)
-    for name, got in (("batched", counts), ("serial", counts_serial)):
+    for name, got in (
+        ("batched", counts),
+        ("serial", counts_serial),
+        ("array", counts_array),
+    ):
         if got.counts != tally.counts:
             problems.append(
                 Disagreement(
@@ -413,9 +472,13 @@ def _renumber_scenario(scenario: Scenario, rng: random.Random) -> Scenario:
     )
 
 
-def _scenario_counts(scenario: Scenario) -> Dict[DecisionLabel, int]:
+def _scenario_counts(
+    scenario: Scenario, backend: str = "dict"
+) -> Dict[DecisionLabel, int]:
     engine = GaoRexfordEngine(
-        scenario.graph, partial_transit=scenario.partial_transit
+        scenario.graph,
+        partial_transit=scenario.partial_transit,
+        backend=backend,
     )
     return classify_decisions(
         scenario.decisions,
@@ -445,6 +508,20 @@ def check_metamorphic(scenario: Scenario) -> List[Disagreement]:
                 "label counts changed under AS renumbering",
             )
         )
+
+    # 1b. Label distribution is invariant under an engine backend swap
+    #     (the dict reference and the CSR array kernel are twins) —
+    #     including on the renumbered world, so the kernel's dense-id
+    #     renumbering is exercised against a shuffled ASN space.
+    for name, world in (("base", scenario), ("renumbered", renumbered)):
+        if _scenario_counts(world, backend="array") != base_counts:
+            problems.append(
+                Disagreement(
+                    "metamorphic",
+                    scenario.seed,
+                    f"label counts changed under backend swap ({name})",
+                )
+            )
 
     # 2. Counts are linear: duplicating every decision doubles them.
     doubled = classify_decisions(

@@ -409,7 +409,21 @@ def classify_decisions(
     Decisions are grouped by the routing tree that grades them, each
     tree is fetched once, and duplicate decisions are graded once —
     results are identical to :func:`classify_decisions_serial`.
+
+    On an ``array``-backend engine the whole batch is graded by the
+    vectorized arena path (:mod:`repro.core.hotpath.grade`) — same
+    labels, one numpy sweep.
     """
+    if getattr(engine, "backend", "dict") == "array":
+        from repro.core.hotpath.grade import classify_decisions_array
+
+        return classify_decisions_array(
+            decisions,
+            engine,
+            first_hops_for=first_hops_for,
+            complex_rel=complex_rel,
+            siblings=siblings,
+        )
     return classify_grouped(
         GroupedDecisions(decisions, first_hops_for),
         engine,
@@ -426,6 +440,16 @@ def label_decisions(
     siblings: Optional[SiblingGroups] = None,
 ) -> List[Tuple[Decision, DecisionLabel]]:
     """Like :func:`classify_decisions` but keeps per-decision labels."""
+    if getattr(engine, "backend", "dict") == "array":
+        from repro.core.hotpath.grade import label_decisions_array
+
+        return label_decisions_array(
+            decisions,
+            engine,
+            first_hops_for=first_hops_for,
+            complex_rel=complex_rel,
+            siblings=siblings,
+        )
     return label_grouped(
         GroupedDecisions(decisions, first_hops_for),
         engine,

@@ -25,14 +25,23 @@ sibling decisions as "Best".
 from __future__ import annotations
 
 import heapq
+import os
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.topology.graph import ASGraph
 from repro.topology.relationships import Relationship
 
 _INF = float("inf")
+
+#: Environment override for the default engine backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The two route-tree computation backends: ``dict`` is the readable
+#: reference implementation below; ``array`` is the CSR/numpy kernel in
+#: :mod:`repro.core.hotpath`, byte-identical on every study output.
+BACKENDS = ("dict", "array")
 
 #: Default bound on the per-engine routing-tree cache.  Far above what
 #: one study needs (a few hundred trees) but keeps long-lived engines
@@ -244,11 +253,29 @@ class GaoRexfordEngine:
         partial_transit: FrozenSet[Tuple[int, int]] = frozenset(),
         cache_size: int = DEFAULT_CACHE_SIZE,
         canonical_keys: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV) or "dict"
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.graph = graph
         self.partial_transit = frozenset(partial_transit)
         self.canonical_keys = canonical_keys
+        self.backend = backend
         self._cache = RoutingCache(maxsize=cache_size)
+
+    def compiled_topology(self):
+        """The graph's shared CSR compilation (array kernel input).
+
+        Available on either backend — the vectorized grader uses it for
+        its lookup tables even when trees come from the dict engine.
+        """
+        from repro.core.hotpath.csr import compile_topology
+
+        return compile_topology(self.graph)
 
     def cache_key(self, destination: int, allowed: Optional[FrozenSet[int]]) -> CacheKey:
         """Canonical cache key for a routing tree.
@@ -296,6 +323,36 @@ class GaoRexfordEngine:
         """Install a precomputed routing tree (parallel precompute)."""
         self._cache.put(self.cache_key(destination, allowed_first_hops), info)
 
+    def warm_batch(self, keys: Iterable[CacheKey]) -> int:
+        """Ensure every (destination, allowed) tree is cached; return
+        how many had to be computed.
+
+        On the array backend the missing trees are computed in **one**
+        kernel sweep — this is the batched prewarm the parallel
+        classifier's serial path and the arena grader call.  Membership
+        probes don't touch the hit/miss counters; the computed trees are
+        charged as misses (one each), so cache-stats reports match the
+        dict backend's one-miss-per-computed-tree accounting.
+        """
+        canonical: List[CacheKey] = []
+        seen: Set[CacheKey] = set()
+        for destination, allowed in keys:
+            key = self.cache_key(destination, allowed)
+            if key not in seen:
+                seen.add(key)
+                canonical.append(key)
+        missing = [key for key in canonical if key not in self._cache]
+        if not missing:
+            return 0
+        if self.backend == "array":
+            infos = self._compute_batch(missing)
+        else:
+            infos = [self._compute(key[0], key[1]) for key in missing]
+        for key, info in zip(missing, infos):
+            self._cache.put(key, info)
+        self._cache.misses += len(missing)
+        return len(missing)
+
     def cache_stats(self) -> CacheStats:
         """Counters of the routing-tree cache (cumulative since creation
         or the last :meth:`reset_stats`)."""
@@ -313,15 +370,41 @@ class GaoRexfordEngine:
     # ------------------------------------------------------------------
     # Computation
     # ------------------------------------------------------------------
-    def _compute(
-        self, destination: int, allowed: Optional[FrozenSet[int]]
-    ) -> RoutingInfo:
+    def _compute(self, destination: int, allowed: Optional[FrozenSet[int]]):
+        if self.backend == "array":
+            return self._compute_batch([(destination, allowed)])[0]
         return compute_routing_info(
             self.graph,
             destination,
             partial_transit=self.partial_transit,
             allowed_first_hops=allowed,
         )
+
+    def _compute_batch(self, keys: List[CacheKey]) -> List["RoutingInfo"]:
+        """All requested trees in one array-kernel sweep.
+
+        Returns :class:`~repro.core.hotpath.info.ArrayRoutingInfo`
+        objects (duck-typed to :class:`RoutingInfo`), in ``keys`` order.
+        """
+        from repro.core.hotpath.info import ArrayRoutingInfo
+        from repro.core.hotpath.kernel import compute_tree_batch
+
+        csr = self.compiled_topology()
+        dest_ids: List[int] = []
+        for destination, _allowed in keys:
+            dest_id = csr.id_of(destination)
+            if dest_id < 0:
+                raise KeyError(f"AS{destination} not in topology")
+            dest_ids.append(dest_id)
+        allowed_masks = [csr.allowed_mask(allowed) for _dest, allowed in keys]
+        partial_mask = (
+            csr.partial_mask(self.partial_transit) if self.partial_transit else None
+        )
+        batch = compute_tree_batch(csr, dest_ids, allowed_masks, partial_mask)
+        return [
+            ArrayRoutingInfo(destination, csr.ids, *batch.row(j))
+            for j, (destination, _allowed) in enumerate(keys)
+        ]
 
 
 def compute_routing_info(

@@ -144,6 +144,10 @@ class StudyConfig:
     retry_policy: Optional[RetryPolicy] = None
     checkpoint_path: Optional[str] = None
     resume: bool = False
+    #: Route-tree computation backend for the classification engines:
+    #: ``dict`` (readable reference) or ``array`` (CSR/numpy hot path,
+    #: byte-identical study outputs — see DESIGN.md §10).
+    backend: str = "dict"
 
 
 @dataclass
@@ -392,12 +396,14 @@ class Study:
         # classifier (process pool above the size threshold, serial
         # otherwise), then each layer grades against warm caches.
         with timer.span("psp"):
-            engine_simple = GaoRexfordEngine(inferred)
+            engine_simple = GaoRexfordEngine(inferred, backend=config.backend)
             partial = frozenset(
                 (entry.provider, entry.customer)
                 for entry in known_complex.partial_transit_entries()
             )
-            engine_complex = GaoRexfordEngine(inferred, partial_transit=partial)
+            engine_complex = GaoRexfordEngine(
+                inferred, partial_transit=partial, backend=config.backend
+            )
             origins: Dict[Prefix, int] = {}
             for asn, prefixes in dataset.destination_prefixes.items():
                 for prefix in prefixes:

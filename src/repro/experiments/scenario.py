@@ -17,13 +17,13 @@ DEFAULT_SEED = 0
 
 
 @lru_cache(maxsize=None)
-def default_study(seed: int = DEFAULT_SEED) -> StudyResults:
+def default_study(seed: int = DEFAULT_SEED, backend: str = "dict") -> StudyResults:
     """The full-scale scenario behind all reported tables and figures."""
-    return Study(StudyConfig(seed=seed)).run()
+    return Study(StudyConfig(seed=seed, backend=backend)).run()
 
 
 @lru_cache(maxsize=None)
-def quick_study(seed: int = DEFAULT_SEED) -> StudyResults:
+def quick_study(seed: int = DEFAULT_SEED, backend: str = "dict") -> StudyResults:
     """A small scenario for fast tests (seconds, not half a minute)."""
     config = StudyConfig(
         topology=small_config(),
@@ -32,5 +32,6 @@ def quick_study(seed: int = DEFAULT_SEED) -> StudyResults:
         probes_per_continent=25,
         active_vp_budget=40,
         max_discovery_targets=20,
+        backend=backend,
     )
     return Study(config).run()

@@ -27,7 +27,7 @@ DEFAULT_BENCH_PATH = "BENCH_pipeline.json"
 
 
 def _fresh_engines(
-    study: StudyResults, canonical_keys: bool
+    study: StudyResults, canonical_keys: bool, backend: str = "dict"
 ) -> Tuple[GaoRexfordEngine, GaoRexfordEngine]:
     """Cold engines over the study topology, as ``Study.run`` builds them.
 
@@ -37,9 +37,14 @@ def _fresh_engines(
     if study.engine_complex is None:
         raise ValueError("study results carry no complex engine")
     partial = study.engine_complex.partial_transit
-    simple = GaoRexfordEngine(study.inferred, canonical_keys=canonical_keys)
+    simple = GaoRexfordEngine(
+        study.inferred, canonical_keys=canonical_keys, backend=backend
+    )
     complex_ = GaoRexfordEngine(
-        study.inferred, partial_transit=partial, canonical_keys=canonical_keys
+        study.inferred,
+        partial_transit=partial,
+        canonical_keys=canonical_keys,
+        backend=backend,
     )
     return simple, complex_
 
@@ -74,14 +79,18 @@ def seven_layer_serial(study: StudyResults) -> Tuple[float, Dict[str, LabelCount
 
 
 def seven_layer_batched(
-    study: StudyResults, workers: Optional[int] = None
+    study: StudyResults, workers: Optional[int] = None, backend: str = "dict"
 ) -> Tuple[float, Dict[str, LabelCounts], PrecomputeReport, Dict[str, Dict]]:
     """Time the optimized path: precomputed trees + batched grading.
 
     Engines start cold, so the measurement includes tree construction
-    exactly like the serial leg does.
+    exactly like the serial leg does.  ``backend`` selects the
+    route-tree engine backend — ``array`` runs the whole leg through
+    the CSR kernel and the vectorized arena grader.
     """
-    engine_simple, engine_complex = _fresh_engines(study, canonical_keys=True)
+    engine_simple, engine_complex = _fresh_engines(
+        study, canonical_keys=True, backend=backend
+    )
     layers = _layer_configs(study, engine_simple, engine_complex)
     classifier = ParallelClassifier(workers=workers)
     start = time.perf_counter()
@@ -93,6 +102,64 @@ def seven_layer_batched(
         "complex": engine_complex.cache_stats().as_dict(),
     }
     return elapsed, figure1, report, cache_stats
+
+
+def _hotpath_measure(
+    study: StudyResults, workers: Optional[int] = None, repeats: int = 3
+) -> Tuple[Dict[str, object], Dict[str, LabelCounts], PrecomputeReport, Dict[str, Dict]]:
+    """Best-of-``repeats`` dict-batched vs array-batched comparison.
+
+    Returns the ``hotpath`` section plus the dict leg's counts, report
+    and cache stats so callers refreshing the ``classification`` and
+    ``cache`` sections reuse the same measurement.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    dict_s = array_s = float("inf")
+    dict_counts = array_counts = None
+    dict_report = array_report = None
+    dict_cache: Dict[str, Dict] = {}
+    for _ in range(repeats):
+        elapsed, dict_counts, dict_report, dict_cache = seven_layer_batched(
+            study, workers=workers, backend="dict"
+        )
+        dict_s = min(dict_s, elapsed)
+        elapsed, array_counts, array_report, _array_cache = seven_layer_batched(
+            study, workers=workers, backend="array"
+        )
+        array_s = min(array_s, elapsed)
+    assert dict_counts is not None and array_counts is not None
+    identical = all(
+        dict_counts[layer] == array_counts[layer] for layer in FIGURE1_LAYERS
+    )
+    graded = len(study.decisions) * len(FIGURE1_LAYERS)
+    section = {
+        "backends": ["dict", "array"],
+        "decisions_graded": graded,
+        "dict_seconds": round(dict_s, 6),
+        "array_seconds": round(array_s, 6),
+        "speedup": round(dict_s / array_s, 3) if array_s else None,
+        "dict_decisions_per_second": round(graded / dict_s, 1) if dict_s else None,
+        "array_decisions_per_second": (
+            round(graded / array_s, 1) if array_s else None
+        ),
+        "trees_computed": array_report.trees_computed if array_report else 0,
+        "trees_reused": array_report.trees_reused if array_report else 0,
+        "results_identical": identical,
+    }
+    return section, dict_counts, dict_report or PrecomputeReport(), dict_cache
+
+
+def hotpath_section(
+    study: StudyResults, workers: Optional[int] = None, repeats: int = 3
+) -> Dict[str, object]:
+    """The ``hotpath`` section of ``BENCH_pipeline.json``: both backends
+    over the same cold-engine seven-layer run, with the array/dict
+    speedup and the identical-results assertion CI gates on."""
+    section, _counts, _report, _cache = _hotpath_measure(
+        study, workers=workers, repeats=repeats
+    )
+    return section
 
 
 def robustness_overhead(
@@ -362,6 +429,7 @@ def run_benchmark(
             "results_identical": identical,
         },
         "cache": cache_stats,
+        "hotpath": hotpath_section(study, workers=workers, repeats=repeats),
         "robustness": robustness_overhead(
             study, batched_s, workers=workers, repeats=repeats
         ),
@@ -422,10 +490,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "obs"),
+        choices=("all", "obs", "hotpath"),
         default="all",
         help="'obs' measures and merges only the telemetry_overhead "
-        "section, leaving the other recorded sections untouched",
+        "section; 'hotpath' runs both route-tree backends and refreshes "
+        "the hotpath, classification and cache sections; other recorded "
+        "sections stay untouched",
     )
     parser.add_argument(
         "--check-obs-overhead",
@@ -434,6 +504,20 @@ def main(argv: Optional[list] = None) -> int:
         metavar="PCT",
         help="exit nonzero if telemetry overhead on the classification "
         "benchmark exceeds PCT percent",
+    )
+    parser.add_argument(
+        "--check-hotpath-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit nonzero unless the array backend beats the dict "
+        "batched path by at least FACTOR x (with identical results)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sections written this run as JSON on stdout "
+        "(human-readable summary moves to stderr)",
     )
     args = parser.parse_args(argv)
 
@@ -447,6 +531,11 @@ def main(argv: Optional[list] = None) -> int:
 
     from repro.experiments.scenario import default_study, quick_study
 
+    # Under --json only the written sections go to stdout; the human
+    # summary moves to stderr so piped consumers parse clean JSON.
+    def say(message: str) -> None:
+        print(message, file=sys.stderr if args.json else sys.stdout)
+
     build_start = time.perf_counter()
     study = (
         quick_study(seed=args.seed) if args.quick else default_study(seed=args.seed)
@@ -456,7 +545,7 @@ def main(argv: Optional[list] = None) -> int:
     def check_gate(telemetry: Dict[str, object]) -> int:
         overhead = telemetry["overhead_pct"]
         label = "n/a" if overhead is None else f"{overhead:+.1f}%"
-        print(
+        say(
             f"telemetry (obs enabled): "
             f"{telemetry['disabled_seconds']:.3f}s -> "
             f"{telemetry['enabled_seconds']:.3f}s ({label})"
@@ -464,21 +553,103 @@ def main(argv: Optional[list] = None) -> int:
         if args.check_obs_overhead is not None and (
             overhead is None or overhead > args.check_obs_overhead
         ):
-            print(
+            say(
                 f"FAIL: telemetry overhead {overhead}% exceeds "
                 f"{args.check_obs_overhead}% budget"
             )
             return 1
         return 0
 
+    def check_hotpath_gate(hotpath: Dict[str, object]) -> int:
+        speedup = hotpath["speedup"]
+        say(
+            f"hotpath: dict {hotpath['dict_seconds']:.3f}s -> "
+            f"array {hotpath['array_seconds']:.3f}s "
+            f"({hotpath['array_decisions_per_second']:.0f} decisions/s, "
+            f"{speedup:.2f}x)"
+        )
+        say(f"hotpath results identical: {hotpath['results_identical']}")
+        failed = 0
+        if not hotpath["results_identical"]:
+            say("FAIL: array backend disagrees with the dict backend")
+            failed = 1
+        if args.check_hotpath_speedup is not None and (
+            speedup is None or speedup < args.check_hotpath_speedup
+        ):
+            say(
+                f"FAIL: hotpath speedup {speedup}x below the "
+                f"{args.check_hotpath_speedup}x floor"
+            )
+            failed = 1
+        return failed
+
+    def finish(written: Dict[str, object], path: str, failed: int) -> int:
+        say(f"wrote {path}")
+        if args.json:
+            print(json.dumps(written, indent=2, sort_keys=True))
+        return failed
+
     if args.section == "obs":
         telemetry = telemetry_overhead(
             study, workers=workers, repeats=args.repeats
         )
-        path = write_bench_file({"telemetry_overhead": telemetry}, args.out)
-        failed = check_gate(telemetry)
-        print(f"wrote {path}")
-        return failed
+        written = {"telemetry_overhead": telemetry}
+        path = write_bench_file(written, args.out)
+        return finish(written, path, check_gate(telemetry))
+
+    if args.section == "hotpath":
+        serial_s = float("inf")
+        serial_counts = None
+        for _ in range(args.repeats):
+            elapsed, serial_counts = seven_layer_serial(study)
+            serial_s = min(serial_s, elapsed)
+        hotpath, dict_counts, report, cache_stats = _hotpath_measure(
+            study, workers=workers, repeats=args.repeats
+        )
+        assert serial_counts is not None
+        graded = len(study.decisions) * len(FIGURE1_LAYERS)
+        batched_s = hotpath["dict_seconds"]
+        written = {
+            "classification": {
+                "layers": list(FIGURE1_LAYERS),
+                "decisions_graded": graded,
+                "serial_seconds": round(serial_s, 6),
+                "batched_seconds": batched_s,
+                "speedup": round(serial_s / batched_s, 3) if batched_s else None,
+                "serial_decisions_per_second": round(graded / serial_s, 1),
+                "batched_decisions_per_second": (
+                    round(graded / batched_s, 1) if batched_s else None
+                ),
+                "workers": report.workers,
+                "parallel": report.parallel,
+                "trees_computed": report.trees_computed,
+                "trees_reused": report.trees_reused,
+                "results_identical": all(
+                    serial_counts[layer] == dict_counts[layer]
+                    for layer in FIGURE1_LAYERS
+                ),
+            },
+            "cache": cache_stats,
+            "hotpath": hotpath,
+            "scenario": "quick" if args.quick else "default",
+            "study_build_seconds": round(build_seconds, 3),
+        }
+        path = write_bench_file(written, args.out)
+        cls = written["classification"]
+        say(f"study build: {build_seconds:.1f}s ({written['scenario']} scenario)")
+        say(
+            f"serial seven-layer classification:  {cls['serial_seconds']:.3f}s "
+            f"({cls['serial_decisions_per_second']:.0f} decisions/s)"
+        )
+        say(
+            f"batched seven-layer classification: {cls['batched_seconds']:.3f}s "
+            f"({cls['batched_decisions_per_second']:.0f} decisions/s)"
+        )
+        failed = 0 if cls["results_identical"] else 1
+        if failed:
+            say("FAIL: batched dict path disagrees with the serial reference")
+        failed |= check_hotpath_gate(hotpath)
+        return finish(written, path, failed)
 
     payload = run_benchmark(study, workers=workers, repeats=args.repeats)
     payload["study_build_seconds"] = round(build_seconds, 3)
@@ -486,23 +657,24 @@ def main(argv: Optional[list] = None) -> int:
     path = write_bench_file(payload, args.out)
 
     cls = payload["classification"]
-    print(f"study build: {build_seconds:.1f}s ({payload['scenario']} scenario)")
-    print(
+    say(f"study build: {build_seconds:.1f}s ({payload['scenario']} scenario)")
+    say(
         f"serial seven-layer classification:  {cls['serial_seconds']:.3f}s "
         f"({cls['serial_decisions_per_second']:.0f} decisions/s)"
     )
-    print(
+    say(
         f"batched seven-layer classification: {cls['batched_seconds']:.3f}s "
         f"({cls['batched_decisions_per_second']:.0f} decisions/s)"
     )
-    print(
+    say(
         f"speedup: {cls['speedup']:.2f}x  "
         f"(workers={cls['workers']}, parallel={cls['parallel']}, "
         f"trees computed={cls['trees_computed']}, reused={cls['trees_reused']})"
     )
-    print(f"results identical: {cls['results_identical']}")
+    say(f"results identical: {cls['results_identical']}")
+    failed = check_hotpath_gate(payload["hotpath"])
     rob = payload["robustness"]
-    print(
+    say(
         f"robustness layer (no fault plan): campaign "
         f"{rob['campaign_classic_seconds']:.3f}s -> "
         f"{rob['campaign_resilient_seconds']:.3f}s "
@@ -510,7 +682,7 @@ def main(argv: Optional[list] = None) -> int:
         f"classification overhead {rob['classification_overhead_pct']:+.1f}%"
     )
     active = payload["active_robustness"]
-    print(
+    say(
         f"active supervision (no fault plan): "
         f"{active['plain_seconds']:.3f}s -> "
         f"{active['supervised_seconds']:.3f}s "
@@ -518,11 +690,10 @@ def main(argv: Optional[list] = None) -> int:
         f"{active['discovery_targets']} targets, "
         f"{active['magnet_rounds']} magnet rounds)"
     )
-    failed = check_gate(payload["telemetry_overhead"])
-    print(f"wrote {path}")
+    failed |= check_gate(payload["telemetry_overhead"])
     if not cls["results_identical"]:
-        return 1
-    return failed
+        failed = 1
+    return finish(payload, path, failed)
 
 
 if __name__ == "__main__":

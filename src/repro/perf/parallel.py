@@ -86,7 +86,7 @@ class PrecomputeReport:
 
 #: Per-worker state: engine specs from the initializer payload, the
 #: engines lazily built from them, and whether to collect metrics.
-_worker_specs: Optional[List[Tuple[object, FrozenSet[Tuple[int, int]]]]] = None
+_worker_specs: Optional[List[Tuple[object, FrozenSet[Tuple[int, int]], str]]] = None
 _worker_engines: Dict[int, GaoRexfordEngine] = {}
 _worker_collect_metrics = False
 
@@ -111,8 +111,8 @@ def _pool_build(
     assert _worker_specs is not None, "pool used without initializer"
     engine = _worker_engines.get(engine_index)
     if engine is None:
-        graph, partial = _worker_specs[engine_index]
-        engine = GaoRexfordEngine(graph, partial_transit=partial)
+        graph, partial, backend = _worker_specs[engine_index]
+        engine = GaoRexfordEngine(graph, partial_transit=partial, backend=backend)
         _worker_engines[engine_index] = engine
     results = [(key, engine.routing_info(key[0], key[1])) for key in keys]
     snapshot: Optional[Dict] = None
@@ -126,6 +126,21 @@ def _pool_build(
     return engine_index, results, snapshot
 
 
+class _KeysView:
+    """Adapter giving a plain tree-key list the ``tree_keys()`` surface
+    :meth:`ParallelClassifier._precompute_grouped` expects — how the
+    arena fast path feeds its groupings through the shared precompute
+    bookkeeping."""
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: Sequence[TreeKey]) -> None:
+        self._keys = keys
+
+    def tree_keys(self) -> List[TreeKey]:
+        return list(self._keys)
+
+
 def _sortable(key: TreeKey) -> Tuple[int, int, Tuple[int, ...]]:
     destination, allowed = key
     if allowed is None:
@@ -137,9 +152,11 @@ class ParallelClassifier:
     """Precomputes routing trees across layers, then grades in batch.
 
     ``workers`` defaults to :func:`worker_count` (the ``REPRO_WORKERS``
-    environment variable or the CPU count); a pool is only spawned when
-    more than ``min_parallel_trees`` trees are missing and more than
-    one worker is available.
+    environment variable or the CPU count), clamped to the machine's
+    CPU count — an oversized ``REPRO_WORKERS`` cannot oversubscribe the
+    pool.  An explicitly passed ``workers`` is honored as-is.  A pool
+    is only spawned when more than ``min_parallel_trees`` trees are
+    missing and the effective worker count exceeds one.
     """
 
     def __init__(
@@ -148,7 +165,9 @@ class ParallelClassifier:
         min_parallel_trees: int = DEFAULT_MIN_PARALLEL_TREES,
         chunk_size: int = 8,
     ) -> None:
-        self.workers = worker_count() if workers is None else workers
+        if workers is None:
+            workers = min(worker_count(), os.cpu_count() or 1)
+        self.workers = workers
         self.min_parallel_trees = min_parallel_trees
         self.chunk_size = max(1, chunk_size)
         self.last_report: Optional[PrecomputeReport] = None
@@ -216,9 +235,12 @@ class ParallelClassifier:
             with span(
                 "precompute_serial", trees=total_missing, reused=reused
             ):
+                # warm_batch computes the dict backend's trees one by
+                # one but the array backend's in a single kernel sweep;
+                # stats accounting (one miss per computed tree) and the
+                # resulting caches are identical either way.
                 for engine, keys in zip(engines, missing):
-                    for destination, allowed in keys:
-                        engine.routing_info(destination, allowed)
+                    engine.warm_batch(keys)
             self._record_precompute(report)
             self.last_report = report
             return report
@@ -261,7 +283,10 @@ class ParallelClassifier:
         metrics = get_obs().metrics
         payload = pickle.dumps(
             (
-                [(engine.graph, engine.partial_transit) for engine in engines],
+                [
+                    (engine.graph, engine.partial_transit, engine.backend)
+                    for engine in engines
+                ],
                 metrics.enabled,
             ),
             protocol=pickle.HIGHEST_PROTOCOL,
@@ -294,8 +319,19 @@ class ParallelClassifier:
         Layers sharing a ``first_hops_for`` map share one decision
         grouping, so the duplicate-collapsing pass runs once per
         distinct map rather than once per layer.
+
+        When every layer's engine runs the ``array`` backend the whole
+        pass goes through the vectorized arena path instead: decisions
+        are interned once, grouped with one lexsort per distinct PSP
+        map, and each layer is graded with gathers and a bincount.
+        Results and cache-stats reports are identical.
         """
         decisions = decisions if isinstance(decisions, list) else list(decisions)
+        if decisions and all(
+            getattr(layer.engine, "backend", "dict") == "array"
+            for layer in layers.values()
+        ):
+            return self._classify_layers_arena(decisions, layers)
         configs = list(layers.values())
         groupings = self._groupings(decisions, configs)
         self._precompute_grouped(list(zip(configs, groupings)))
@@ -330,6 +366,52 @@ class ParallelClassifier:
                 misses.labels(layer=name).inc(delta.misses)
         return results
 
+    def _classify_layers_arena(
+        self,
+        decisions: List[Decision],
+        layers: Dict[str, LayerConfig],
+    ) -> Dict[str, LabelCounts]:
+        """Array-backend grading of every layer over one shared arena."""
+        from repro.core.hotpath.grade import arena_for, classify_arena
+
+        arena = arena_for(decisions)
+        configs = list(layers.values())
+        groupings = [arena.grouping(layer.first_hops_for) for layer in configs]
+        self._precompute_grouped(
+            [
+                (layer, _KeysView(grouping.tree_keys))
+                for layer, grouping in zip(configs, groupings)
+            ]
+        )
+        metrics = get_obs().metrics
+        results: Dict[str, LabelCounts] = {}
+        self.last_layer_cache_stats = {}
+        for (name, layer), grouping in zip(layers.items(), groupings):
+            baseline = layer.engine.cache_stats()
+            with span("classify_layer", layer=name):
+                results[name] = classify_arena(
+                    grouping,
+                    layer.engine,
+                    complex_rel=layer.complex_rel,
+                    siblings=layer.siblings,
+                )
+            cumulative = layer.engine.cache_stats()
+            delta = cumulative.delta(baseline)
+            self.last_layer_cache_stats[name] = {
+                "delta": delta.as_dict(),
+                "cumulative": cumulative.as_dict(),
+            }
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_routing_cache_hits_total",
+                    "Routing-cache hits during layer grading.",
+                ).labels(layer=name).inc(delta.hits)
+                metrics.counter(
+                    "repro_routing_cache_misses_total",
+                    "Routing-cache misses during layer grading.",
+                ).labels(layer=name).inc(delta.misses)
+        return results
+
     def label_layer(
         self,
         decisions: Iterable[Decision],
@@ -337,6 +419,18 @@ class ParallelClassifier:
     ) -> List[Tuple[Decision, DecisionLabel]]:
         """Per-decision labels for one layer, via the same machinery."""
         decisions = decisions if isinstance(decisions, list) else list(decisions)
+        if decisions and getattr(layer.engine, "backend", "dict") == "array":
+            from repro.core.hotpath.grade import arena_for, label_arena
+
+            grouping = arena_for(decisions).grouping(layer.first_hops_for)
+            self._precompute_grouped([(layer, _KeysView(grouping.tree_keys))])
+            with span("label_layer", decisions=len(decisions)):
+                return label_arena(
+                    grouping,
+                    layer.engine,
+                    complex_rel=layer.complex_rel,
+                    siblings=layer.siblings,
+                )
         grouped = GroupedDecisions(decisions, layer.first_hops_for)
         self._precompute_grouped([(layer, grouped)])
         with span("label_layer", decisions=len(decisions)):

@@ -1,0 +1,64 @@
+"""The benchmark CLI's hotpath section and its speedup gate.
+
+Runs ``repro.perf.bench.main`` in-process on the quick scenario (shared
+with the session study fixture, so the study build is cached) and
+checks the machine-readable contract CI depends on: ``--json`` emits
+parseable sections on stdout, the hotpath section asserts
+``results_identical``, and ``--check-hotpath-speedup`` turns a missed
+floor into a nonzero exit.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import main as bench_main
+
+pytestmark = pytest.mark.tier1
+
+
+def _run(tmp_path, capsys, *extra):
+    out = tmp_path / "BENCH_pipeline.json"
+    code = bench_main(
+        [
+            "--quick",
+            "--section",
+            "hotpath",
+            "--repeats",
+            "1",
+            "--json",
+            "--out",
+            str(out),
+            *extra,
+        ]
+    )
+    stdout = capsys.readouterr().out
+    return code, stdout, out
+
+
+class TestBenchHotpathCLI:
+    def test_json_report_and_identical_results(self, tmp_path, capsys, study):
+        code, stdout, out = _run(tmp_path, capsys)
+        assert code == 0
+        payload = json.loads(stdout)  # stdout is pure JSON under --json
+        hotpath = payload["hotpath"]
+        assert hotpath["results_identical"] is True
+        assert hotpath["speedup"] is None or hotpath["speedup"] > 0
+        assert hotpath["backends"] == ["dict", "array"]
+        assert hotpath["decisions_graded"] == len(study.decisions) * 7
+        # The sections written this run also landed in the bench file.
+        recorded = json.loads(out.read_text())
+        assert recorded["hotpath"]["results_identical"] is True
+        assert "classification" in recorded and "cache" in recorded
+
+    def test_speedup_gate_failure_exits_nonzero(self, tmp_path, capsys, study):
+        code, _stdout, _out = _run(
+            tmp_path, capsys, "--check-hotpath-speedup", "1000000"
+        )
+        assert code != 0
+
+    def test_speedup_gate_passes_at_low_floor(self, tmp_path, capsys, study):
+        code, _stdout, _out = _run(
+            tmp_path, capsys, "--check-hotpath-speedup", "0.0001"
+        )
+        assert code == 0

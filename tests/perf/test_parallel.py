@@ -6,6 +6,8 @@ construction without needing a many-core machine; results must be
 identical to the serial fallback.
 """
 
+import os
+
 import pytest
 
 from repro.core.classification import (
@@ -81,10 +83,27 @@ class TestWorkerCount:
         assert worker_count(default=5) == 5
         assert worker_count() >= 1
 
-    def test_classifier_reads_env(self, monkeypatch):
+    def test_classifier_reads_env_clamped_to_cpus(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "2")
-        assert ParallelClassifier().workers == 2
+        assert ParallelClassifier().workers == min(2, os.cpu_count() or 1)
+        # An explicit argument is the caller's decision — never clamped.
         assert ParallelClassifier(workers=6).workers == 6
+
+    def test_default_workers_clamped_to_cpus(self, monkeypatch):
+        """An oversubscribed env default cannot outnumber the cores."""
+        monkeypatch.setenv(WORKERS_ENV, "64")
+        assert ParallelClassifier().workers == min(64, os.cpu_count() or 1)
+
+    def test_pool_skipped_when_one_effective_worker(self):
+        """workers=1 grades serially — no pool spawn for a lone worker."""
+        graph = _ladder_graph()
+        engine = GaoRexfordEngine(graph)
+        layer = LayerConfig(engine=engine)
+        classifier = ParallelClassifier(workers=1, min_parallel_trees=1)
+        decisions = _decisions(graph, destinations=[1, 3, 5])
+        report = classifier.precompute(decisions, [layer])
+        assert not report.parallel
+        assert report.trees_computed == 3
 
 
 class TestPrecompute:
