@@ -21,6 +21,7 @@ from repro.check.differential import (
     check_labels,
     check_lpm,
     check_metamorphic,
+    check_pool_supervision,
     check_seed,
     oracle_labels,
 )
@@ -42,7 +43,7 @@ from repro.check.oracles import (
     oracle_label,
     oracle_routing_info,
 )
-from repro.check.runner import ALL_CHECKS, CheckReport, run_checks
+from repro.check.runner import ALL_CHECKS, KNOWN_CHECKS, CheckReport, run_checks
 from repro.check.scenarios import Scenario, generate_scenario
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "DEFAULT_GOLDEN_DIR",
     "Disagreement",
     "GOLDEN_SEED",
+    "KNOWN_CHECKS",
     "OracleLPM",
     "OracleRoutingInfo",
     "Scenario",
@@ -61,6 +63,7 @@ __all__ = [
     "check_labels",
     "check_lpm",
     "check_metamorphic",
+    "check_pool_supervision",
     "check_seed",
     "compute_snapshot",
     "diff_snapshots",

@@ -860,6 +860,93 @@ def check_lpm(seed: int, rounds: int = 4) -> List[Disagreement]:
 
 
 # ---------------------------------------------------------------------------
+# Supervised pool vs serial (heavy, opt-in)
+# ---------------------------------------------------------------------------
+
+
+def check_pool_supervision(scenario: Scenario) -> List[Disagreement]:
+    """Supervised pool under injected crashes vs the serial fault-free
+    path — labels must be identical through every recovery branch.
+
+    Runs both engine backends through a
+    :class:`~repro.perf.parallel.ParallelClassifier` forced onto the
+    pool (2 workers, threshold 1) with a seeded crash+corruption plan,
+    so shards complete parallel, after retries, and serially after
+    quarantine within one check.  Heavy — every seed spawns real
+    worker processes — so the runner only includes it when named via
+    ``--only pool-supervised``.
+    """
+    from repro.core.classification import LayerConfig
+    from repro.faults.plan import FaultPlan, FaultSite
+    from repro.perf.parallel import ParallelClassifier
+
+    plan = FaultPlan(
+        seed=scenario.seed,
+        rates={
+            FaultSite.POOL_WORKER_CRASH: 0.3,
+            FaultSite.POOL_RESULT_CORRUPT: 0.2,
+        },
+    )
+    problems: List[Disagreement] = []
+    for backend in ("dict", "array"):
+        reference_engine = GaoRexfordEngine(
+            scenario.graph,
+            partial_transit=scenario.partial_transit,
+            backend=backend,
+        )
+        expected = label_decisions_serial(
+            scenario.decisions,
+            reference_engine,
+            first_hops_for=scenario.first_hops_for or None,
+            complex_rel=scenario.complex_rel,
+            siblings=scenario.siblings,
+        )
+        pool_engine = GaoRexfordEngine(
+            scenario.graph,
+            partial_transit=scenario.partial_transit,
+            backend=backend,
+        )
+        classifier = ParallelClassifier(
+            workers=2,
+            min_parallel_trees=1,
+            chunk_size=2,
+            fault_plan=plan,
+        )
+        layer = LayerConfig(
+            engine=pool_engine,
+            first_hops_for=scenario.first_hops_for or None,
+            complex_rel=scenario.complex_rel,
+            siblings=scenario.siblings,
+        )
+        got = classifier.label_layer(scenario.decisions, layer)
+        if got != expected:
+            mismatches = [
+                (d.asn, d.next_hop, a.value, b.value)
+                for (d, a), (_d, b) in zip(got, expected)
+                if a is not b
+            ][:3]
+            problems.append(
+                Disagreement(
+                    "pool-supervised",
+                    scenario.seed,
+                    f"{backend} backend: supervised-pool labels diverge "
+                    f"from serial: {mismatches}",
+                )
+            )
+        report = classifier.last_shard_report
+        if report is not None and not report.accounted():
+            problems.append(
+                Disagreement(
+                    "pool-supervised",
+                    scenario.seed,
+                    f"{backend} backend: shard accounting does not add up: "
+                    f"{report.as_dict()}",
+                )
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Whole-seed battery
 # ---------------------------------------------------------------------------
 
@@ -874,6 +961,13 @@ SCENARIO_CHECKS = {
 SEED_CHECKS = {
     "bgp-decision": check_bgp_decision,
     "lpm": check_lpm,
+}
+
+#: Heavy scenario checks: known to the runner but excluded from the
+#: default battery — run only when named via ``--only`` (each seed
+#: spawns real pool worker processes).
+HEAVY_SCENARIO_CHECKS = {
+    "pool-supervised": check_pool_supervision,
 }
 
 
@@ -891,4 +985,8 @@ def check_seed(
         if only is not None and name not in only:
             continue
         problems.extend(seed_check(seed))
+    for name, heavy_check in HEAVY_SCENARIO_CHECKS.items():
+        if only is None or name not in only:
+            continue
+        problems.extend(heavy_check(scenario))
     return scenario, problems

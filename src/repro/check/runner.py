@@ -13,14 +13,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.check.differential import (
+    HEAVY_SCENARIO_CHECKS,
     SCENARIO_CHECKS,
     SEED_CHECKS,
     Disagreement,
     check_seed,
 )
 
-#: Every check the runner knows, in report order.
+#: The default battery, in report order.
 ALL_CHECKS = tuple(SCENARIO_CHECKS) + tuple(SEED_CHECKS)
+
+#: Everything ``--only`` accepts: the default battery plus the heavy
+#: opt-in checks (e.g. ``pool-supervised``, which spawns real worker
+#: processes per seed and therefore never runs by default).
+KNOWN_CHECKS = ALL_CHECKS + tuple(HEAVY_SCENARIO_CHECKS)
 
 
 @dataclass
@@ -80,10 +86,10 @@ def run_checks(
     ``progress(done, total)`` is invoked after every seed when given.
     """
     if only is not None:
-        unknown = sorted(set(only) - set(ALL_CHECKS))
+        unknown = sorted(set(only) - set(KNOWN_CHECKS))
         if unknown:
             raise ValueError(
-                f"unknown checks {unknown}; known: {sorted(ALL_CHECKS)}"
+                f"unknown checks {unknown}; known: {sorted(KNOWN_CHECKS)}"
             )
     report = CheckReport(
         base_seed=base_seed,

@@ -9,15 +9,20 @@ Usage::
     repro study [--seed N] [--small] [--experiment ID]
           [--backend dict|array]
           [--fault-plan PLAN.json] [--checkpoint FILE] [--resume FILE]
+          [--shard-checkpoint FILE]
         Run the full study and print every experiment report (or just
         the one named by --experiment).  A fault plan injects failures
         at every substrate boundary — including the active control
         plane (poison filtering, damping, convergence stalls, feed
-        gaps, withdrawal loss); --checkpoint journals campaign progress
-        (the active phase journals to FILE.active) and --resume
-        restores a killed campaign — passive and active — from its
-        journals without re-spending measurement credits or testbed
-        announcements.
+        gaps, withdrawal loss) and the precompute process pool (worker
+        crashes, hangs, corrupt results); --checkpoint journals
+        campaign progress (the active phase journals to FILE.active,
+        the precompute pool's finished shards to FILE.shards) and
+        --resume restores a killed campaign — passive, active and
+        precompute — from its journals without re-spending measurement
+        credits, testbed announcements, or routing-tree builds.
+        --shard-checkpoint journals the pool's shards to a specific
+        file without a campaign checkpoint.
 
     repro list
         List available experiment ids.
@@ -70,6 +75,7 @@ def _run_study(
     fault_plan: Optional[str] = None,
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
+    shard_checkpoint: Optional[str] = None,
     obs: bool = False,
     backend: str = "dict",
 ) -> StudyResults:
@@ -88,6 +94,8 @@ def _run_study(
         config.resume = True
     elif checkpoint is not None:
         config.checkpoint_path = checkpoint
+    if shard_checkpoint is not None:
+        config.shard_checkpoint_path = shard_checkpoint
     if obs:
         from repro.obs import Observability, using
 
@@ -229,6 +237,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         fault_plan=args.fault_plan,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        shard_checkpoint=getattr(args, "shard_checkpoint", None),
         obs=bool(getattr(args, "obs", False)) or obs_out is not None,
         backend=getattr(args, "backend", "dict"),
     )
@@ -239,6 +248,26 @@ def _cmd_study(args: argparse.Namespace) -> int:
     reports = _collect_reports(results, ids)
     if results.robustness is not None:
         print(results.robustness.render())
+        print()
+    shard_report = results.shard_execution
+    if shard_report is not None and (
+        shard_report.resumed
+        or shard_report.retries
+        or shard_report.completed_serial
+    ):
+        print(
+            "precompute pool: "
+            f"{shard_report.shards_total} shard(s), "
+            f"{shard_report.completed_parallel} parallel, "
+            f"{shard_report.completed_serial} serial, "
+            f"{shard_report.resumed} resumed; "
+            f"{shard_report.worker_crashes} crash(es), "
+            f"{shard_report.worker_hangs} hang(s), "
+            f"{shard_report.corrupt_results} corrupt, "
+            f"{shard_report.retries} retried, "
+            f"{len(shard_report.quarantined)} quarantined"
+            + (" [degraded to serial]" if shard_report.degraded_serial_mode else "")
+        )
         print()
     if results.active_robustness is not None and (
         results.config.fault_plan is not None
@@ -439,7 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="resume a killed campaign from its checkpoint journal "
-        "(skips journaled work without re-spending credits)",
+        "(skips journaled work without re-spending credits; also "
+        "replays FILE.shards precompute shards)",
+    )
+    study.add_argument(
+        "--shard-checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal finished precompute-pool shards to FILE "
+        "(defaults to CHECKPOINT.shards when --checkpoint is set); a "
+        "killed study resumes its routing-tree builds from it",
     )
     study.add_argument(
         "--obs",
@@ -521,7 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="CHECK",
         help="restrict to one check (repeatable): gr-tree, labels, "
-        "metamorphic, bgp-decision, lpm",
+        "metamorphic, bgp-decision, lpm; heavy opt-in checks "
+        "(pool-supervised) run only when named here",
     )
     check_run.add_argument(
         "--progress", action="store_true", help="print progress to stderr"

@@ -54,6 +54,7 @@ from repro.faults import (
     MalformedResultError,
     RetryPolicy,
     RobustnessReport,
+    ShardExecutionReport,
 )
 from repro.ipmap.geolocation import GeoDatabase
 from repro.ipmap.ip2as import IPToASMapper
@@ -144,6 +145,30 @@ class StudyConfig:
     retry_policy: Optional[RetryPolicy] = None
     checkpoint_path: Optional[str] = None
     resume: bool = False
+    #: Supervised precompute pool (Figure-1 routing trees).  The shard
+    #: journal defaults to ``<checkpoint_path>.shards`` when a campaign
+    #: checkpoint is configured; set explicitly to journal shards
+    #: without one.  ``pool_workers`` overrides the classifier's worker
+    #: resolution (needed to force the pool on small machines);
+    #: ``pool_min_parallel_trees`` likewise lowers the pool threshold.
+    #: ``shard_abort_after`` is the crash drill: the figure1 stage dies
+    #: with :class:`~repro.faults.errors.CampaignInterrupted` after
+    #: that many shards are journaled, so tests can kill a study
+    #: mid-precompute and resume it.
+    shard_checkpoint_path: Optional[str] = None
+    pool_workers: Optional[int] = None
+    pool_min_parallel_trees: Optional[int] = None
+    shard_timeout_s: Optional[float] = None
+    shard_abort_after: Optional[int] = None
+
+    def effective_shard_checkpoint(self) -> Optional[str]:
+        """The shard-journal path: explicit, or derived from the
+        campaign checkpoint so ``--resume`` restores both together."""
+        if self.shard_checkpoint_path is not None:
+            return self.shard_checkpoint_path
+        if self.checkpoint_path is not None:
+            return self.checkpoint_path + ".shards"
+        return None
     #: Route-tree computation backend for the classification engines:
     #: ``dict`` (readable reference) or ``array`` (CSR/numpy hot path,
     #: byte-identical study outputs — see DESIGN.md §10).
@@ -212,6 +237,10 @@ class StudyResults:
     manifest: Optional[RunManifest] = None
     #: Fault/retry/coverage accounting (fault-injected campaigns only).
     robustness: Optional[RobustnessReport] = None
+    #: Supervised-pool accounting for the Figure-1 precompute (merged
+    #: across the classify and label passes; ``None`` when precompute
+    #: never used the pool).
+    shard_execution: Optional[ShardExecutionReport] = None
     #: Per-target/per-round accounting for the active experiments
     #: (populated whenever the active phase runs).
     active_robustness: Optional[ActiveRobustnessReport] = None
@@ -288,6 +317,11 @@ class Study:
                     "selected_probes": len(results.selected_probes),
                     "active_experiments": config.active_experiments,
                     "resumed": config.resume,
+                    "shard_execution": (
+                        results.shard_execution.as_dict()
+                        if results.shard_execution is not None
+                        else None
+                    ),
                 },
             )
         self._results = results
@@ -417,7 +451,21 @@ class Study:
             # repro.core, so a module-level import here would cycle.
             from repro.perf.parallel import ParallelClassifier
 
-            classifier = ParallelClassifier()
+            classifier_kwargs = dict(
+                fault_plan=config.fault_plan,
+                retry=config.retry_policy,
+                shard_checkpoint=config.effective_shard_checkpoint(),
+                resume=config.resume,
+                shard_timeout_s=config.shard_timeout_s,
+                abort_after_shards=config.shard_abort_after,
+            )
+            if config.pool_workers is not None:
+                classifier_kwargs["workers"] = config.pool_workers
+            if config.pool_min_parallel_trees is not None:
+                classifier_kwargs["min_parallel_trees"] = (
+                    config.pool_min_parallel_trees
+                )
+            classifier = ParallelClassifier(**classifier_kwargs)
             layer_configs = figure1_layer_configs(
                 engine_simple,
                 engine_complex,
@@ -490,6 +538,7 @@ class Study:
             psp_validation=psp_validation,
             probe_table=probe_table,
             robustness=robustness,
+            shard_execution=classifier.last_shard_report,
             layer_cache_stats=dict(classifier.last_layer_cache_stats),
             engine=engine_simple,
             engine_complex=engine_complex,

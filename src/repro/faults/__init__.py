@@ -18,6 +18,10 @@ survive all of that:
   plane (see :mod:`repro.faults.supervisor`),
 * :class:`CheckpointJournal` — append-only JSONL checkpointing with
   torn-tail recovery for resumable campaigns,
+* :class:`SupervisedShardExecutor` / :class:`ShardJournal` —
+  crash-tolerant process-pool fan-out with shard checkpointing and
+  graceful degradation to serial execution (see
+  :mod:`repro.faults.pool`),
 * :class:`RobustnessReport` / :class:`ActiveRobustnessReport` — full
   where-did-every-measurement-go accounting for the passive campaign
   and the active experiments, and
@@ -42,15 +46,26 @@ from repro.faults.errors import (
     MalformedResultError,
     MuxSessionReset,
     PoisonFiltered,
+    PoolError,
+    PoolResultCorrupt,
+    PoolWorkerCrash,
+    PoolWorkerHang,
     ProbeDownError,
     ProbeFlapError,
     RetryExhausted,
     RouteFlapDamped,
+    ShardExecutionError,
     WatchdogExpired,
     WithdrawalLost,
 )
 from repro.faults.journal import CheckpointJournal, JournalCorrupted, pair_key
 from repro.faults.plan import FaultPlan, FaultSite, derive_seed
+from repro.faults.pool import (
+    Shard,
+    ShardExecutionReport,
+    ShardJournal,
+    SupervisedShardExecutor,
+)
 from repro.faults.report import ActiveRobustnessReport, RobustnessReport
 from repro.faults.retry import RetryPolicy, RetryStats
 from repro.faults.supervisor import BreakerStats, CircuitBreaker, Watchdog
@@ -77,6 +92,10 @@ __all__ = [
     "MalformedResultError",
     "MuxSessionReset",
     "PoisonFiltered",
+    "PoolError",
+    "PoolResultCorrupt",
+    "PoolWorkerCrash",
+    "PoolWorkerHang",
     "ProbeDownError",
     "ProbeFlapError",
     "RetryExhausted",
@@ -84,6 +103,11 @@ __all__ = [
     "RetryStats",
     "RobustnessReport",
     "RouteFlapDamped",
+    "Shard",
+    "ShardExecutionError",
+    "ShardExecutionReport",
+    "ShardJournal",
+    "SupervisedShardExecutor",
     "Watchdog",
     "WatchdogExpired",
     "WithdrawalLost",

@@ -33,7 +33,20 @@ def pair_key(record: Dict) -> Tuple[int, str]:
 
 
 class CheckpointJournal:
-    """One campaign's checkpoint file."""
+    """One campaign's checkpoint file.
+
+    Subclasses may override ``record_kind`` (the ``kind`` tag stamped
+    on appended records and selected by ``load``) and
+    ``required_fields`` (keys every record must carry — a record
+    missing one raises :class:`JournalCorrupted`); the defaults keep
+    the original (probe, name) pair-journal behavior.
+    """
+
+    #: ``kind`` tag for data records (header records are always
+    #: ``KIND_HEADER``).
+    record_kind = KIND_PAIR
+    #: Keys every data record must carry.
+    required_fields = ("probe", "name")
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -87,10 +100,14 @@ class CheckpointJournal:
                 if header is None:
                     header = document
                 continue
-            if kind == KIND_PAIR:
-                if "probe" not in document or "name" not in document:
+            if kind == self.record_kind:
+                missing = [
+                    name for name in self.required_fields if name not in document
+                ]
+                if missing:
                     raise JournalCorrupted(
-                        f"{self.path}: line {number} lacks a (probe, name) key"
+                        f"{self.path}: line {number} lacks required "
+                        f"key(s) {missing}"
                     )
                 records.append(document)
         return header, records
@@ -113,7 +130,7 @@ class CheckpointJournal:
 
     def append(self, record: Dict) -> None:
         line = dict(record)
-        line["kind"] = KIND_PAIR
+        line["kind"] = self.record_kind
         self._append_line(line)
 
     def _append_line(self, record: Dict) -> None:

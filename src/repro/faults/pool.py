@@ -1,0 +1,624 @@
+"""Supervised shard executor: crash-tolerant parallel fan-out.
+
+A bare ``ProcessPoolExecutor`` turns one worker OOM/segfault into an
+opaque ``BrokenProcessPool`` that aborts the whole computation and
+throws away every completed result.  :class:`SupervisedShardExecutor`
+replaces that failure mode with supervised, journaled shard execution:
+
+* work arrives as deterministic :class:`Shard`\\ s (stable ids over
+  stable-sorted chunks), so two runs dispatch identically;
+* a supervisor waits on every shard future under a per-shard deadline:
+  dead workers (``BrokenProcessPool``) and hung shards (deadline
+  expiry) are detected, the pool is torn down and respawned, and the
+  failed shard is retried with full-jitter backoff accounted on the
+  :class:`~repro.faults.retry.RetryPolicy`'s virtual clock;
+* a :class:`~repro.faults.supervisor.CircuitBreaker` watches pool
+  failures — when it trips, the executor stops respawning pools and
+  degrades the remaining shards to serial in-process execution;
+* a shard that exhausts its retry budget is quarantined and recomputed
+  serially, so one poisoned shard cannot stall the run — the
+  degradation ladder (retry -> respawn -> quarantine -> serial)
+  guarantees the run always completes;
+* completed shards are journaled to a :class:`ShardJournal`
+  (``<checkpoint>.shards``), so a killed run resumes byte-identical
+  without recomputing finished shards.
+
+The executor is deliberately generic: it knows nothing about routing
+trees.  Callers provide the picklable pool worker plus small callbacks
+(validate / install / serial-recompute / journal codecs), which keeps
+this package free of measurement-layer imports and lets any fan-out
+workload sit on top of the same supervision.
+
+Determinism contract: *results* are identical whether shards complete
+in the pool, after retries, serially after quarantine, or from the
+journal — every path computes or replays the same pure function of the
+shard task.  Recovery *accounting* (retry counts, event order) depends
+on which real faults fired and is reported, not replayed.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import random
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.errors import (
+    CampaignInterrupted,
+    FaultError,
+    PoolResultCorrupt,
+    PoolWorkerCrash,
+    PoolWorkerHang,
+    ShardExecutionError,
+)
+from repro.faults.journal import CheckpointJournal
+from repro.faults.plan import derive_seed
+from repro.faults.retry import RetryPolicy, RetryStats
+from repro.faults.supervisor import OPEN, CircuitBreaker
+from repro.obs.context import get_obs, publish
+from repro.obs.events import CATEGORY_POOL
+
+#: Default wall-clock deadline per shard attempt.  Generous — it only
+#: needs to be smaller than "forever" to turn a wedged worker into a
+#: retryable fault.
+DEFAULT_SHARD_TIMEOUT_S = 300.0
+
+KIND_SHARD = "shard"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One deterministic unit of pool work.
+
+    ``shard_id`` must be stable across runs *and* content-addressed
+    (derived from the work itself), so a journal replay can only ever
+    restore a result onto the exact work that produced it.
+    """
+
+    shard_id: str
+    #: Picklable payload handed to the pool worker.
+    task: object
+    #: The work items the shard covers — carried into error reports.
+    keys: Tuple = ()
+
+
+class ShardJournal(CheckpointJournal):
+    """``<checkpoint>.shards`` — append-only journal of finished shards.
+
+    Inherits the pair journal's torn-tail recovery: a crash mid-append
+    loses at most the trailing record (that shard simply recomputes on
+    resume), while interior corruption raises
+    :class:`~repro.faults.journal.JournalCorrupted`.
+    """
+
+    record_kind = KIND_SHARD
+    required_fields = ("shard", "payload")
+
+
+@dataclass
+class ShardExecutionReport:
+    """Where every shard went, plus every recovery action taken."""
+
+    shards_total: int = 0
+    #: Completed in a pool worker (possibly after retries).
+    completed_parallel: int = 0
+    #: Completed by in-process recomputation (quarantine or degrade).
+    completed_serial: int = 0
+    #: Restored from the shard journal without recomputation.
+    resumed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    corrupt_results: int = 0
+    #: Exceptions raised *by* the worker function (not pool plumbing).
+    worker_errors: int = 0
+    #: Pools torn down and replaced after a crash or hang.
+    respawns: int = 0
+    #: Shard ids that exhausted their retry budget.
+    quarantined: List[str] = field(default_factory=list)
+    #: The breaker tripped and the remaining shards ran serially.
+    degraded_serial_mode: bool = False
+    workers: int = 0
+    journal_torn_lines: int = 0
+    #: Journal records whose payload failed to decode (recomputed).
+    journal_invalid_records: int = 0
+    retry: RetryStats = field(default_factory=RetryStats)
+    #: Breaker snapshot at the end of the run (``None`` without one).
+    breaker: Optional[Dict] = None
+
+    def accounted(self) -> bool:
+        """Every shard must land in exactly one completion bucket."""
+        return (
+            self.completed_parallel + self.completed_serial + self.resumed
+            == self.shards_total
+        )
+
+    def merge(self, other: "ShardExecutionReport") -> None:
+        self.shards_total += other.shards_total
+        self.completed_parallel += other.completed_parallel
+        self.completed_serial += other.completed_serial
+        self.resumed += other.resumed
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.worker_crashes += other.worker_crashes
+        self.worker_hangs += other.worker_hangs
+        self.corrupt_results += other.corrupt_results
+        self.worker_errors += other.worker_errors
+        self.respawns += other.respawns
+        self.quarantined.extend(other.quarantined)
+        self.degraded_serial_mode = (
+            self.degraded_serial_mode or other.degraded_serial_mode
+        )
+        self.workers = max(self.workers, other.workers)
+        self.journal_torn_lines += other.journal_torn_lines
+        self.journal_invalid_records += other.journal_invalid_records
+        self.retry.merge(other.retry)
+        if other.breaker is not None:
+            self.breaker = other.breaker
+
+    def as_dict(self) -> Dict:
+        return {
+            "shards_total": self.shards_total,
+            "completed_parallel": self.completed_parallel,
+            "completed_serial": self.completed_serial,
+            "resumed": self.resumed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "worker_hangs": self.worker_hangs,
+            "corrupt_results": self.corrupt_results,
+            "worker_errors": self.worker_errors,
+            "respawns": self.respawns,
+            "quarantined": list(self.quarantined),
+            "degraded_serial_mode": self.degraded_serial_mode,
+            "workers": self.workers,
+            "journal_torn_lines": self.journal_torn_lines,
+            "journal_invalid_records": self.journal_invalid_records,
+            "retry": self.retry.as_dict(),
+            "breaker": self.breaker,
+            "accounted": self.accounted(),
+        }
+
+
+def _pickle_encode(result: object) -> str:
+    raw = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _pickle_decode(payload: str) -> object:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class SupervisedShardExecutor:
+    """Round-based supervised dispatch of shards to a process pool.
+
+    ``worker_fn(task, shard_id, attempt)`` must be a module-level
+    (picklable) function; the extra arguments let seeded fault plans
+    key injected crashes per ``(shard_id, attempt)`` so a retried
+    attempt can clear.  The parent-side callbacks passed to :meth:`run`
+    stay in-process and may close over live objects.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable,
+        *,
+        workers: int,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        shard_timeout_s: Optional[float] = DEFAULT_SHARD_TIMEOUT_S,
+        journal: Optional[ShardJournal] = None,
+        context_fingerprint: str = "",
+        abort_after: Optional[int] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(f"supervised pool needs >= 2 workers, got {workers}")
+        self.worker_fn = worker_fn
+        self.workers = workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker
+        self.shard_timeout_s = shard_timeout_s
+        self.journal = journal
+        self.context_fingerprint = context_fingerprint
+        #: Crash-drill knob: raise :class:`CampaignInterrupted` after
+        #: this many shards have been journaled (``None`` disables).
+        self.abort_after = abort_after
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _load_replayable(self, report: ShardExecutionReport) -> Dict[str, str]:
+        """Journaled ``shard_id -> payload``, after the resume guards."""
+        journal = self.journal
+        if journal is None or not journal.exists():
+            return {}
+        header, records = journal.load()
+        report.journal_torn_lines += journal.torn_lines
+        if (
+            header is not None
+            and self.context_fingerprint
+            and header.get("fingerprint") not in (None, self.context_fingerprint)
+        ):
+            raise ValueError(
+                f"refusing to resume from {journal.path}: journal was "
+                f"written for a different study "
+                f"(fingerprint {header.get('fingerprint')!r} != "
+                f"{self.context_fingerprint!r})"
+            )
+        payloads: Dict[str, str] = {}
+        for record in records:
+            payloads[str(record["shard"])] = str(record["payload"])
+        return payloads
+
+    def _journal_start(self) -> None:
+        journal = self.journal
+        if journal is None:
+            return
+        fresh = not journal.exists()
+        journal.open_append()
+        if fresh:
+            journal.write_header({"fingerprint": self.context_fingerprint})
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        shards: Sequence[Shard],
+        *,
+        serial_fn: Callable[[Shard], object],
+        install_fn: Callable[[Shard, object], None],
+        validate_fn: Optional[Callable[[Shard, object], Optional[str]]] = None,
+        encode_result: Callable[[object], str] = _pickle_encode,
+        decode_result: Callable[[str], object] = _pickle_decode,
+    ) -> ShardExecutionReport:
+        """Execute every shard; returns the full accounting report.
+
+        ``serial_fn(shard)`` recomputes one shard in-process (the
+        degradation target); ``install_fn(shard, result)`` lands a
+        result wherever it belongs; ``validate_fn(shard, result)``
+        returns a rejection reason or ``None`` — the cheap always-on
+        corruption check applied to pool results before installation.
+        """
+        shards = list(shards)
+        ids = [shard.shard_id for shard in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError("shard ids must be unique within one run")
+        report = ShardExecutionReport(
+            shards_total=len(shards), workers=self.workers
+        )
+        metrics = get_obs().metrics
+
+        def count_shard(status: str) -> None:
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_pool_shards_total",
+                    "Supervised shards, by completion status.",
+                ).labels(status=status).inc()
+
+        def count_recovery(action: str) -> None:
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_pool_recovery_total",
+                    "Supervisor recovery actions on the precompute pool.",
+                ).labels(action=action).inc()
+
+        # -- Resume: replay journaled results before any dispatch. ------
+        replayable = self._load_replayable(report)
+        self._journal_start()
+        journaled = 0
+
+        def journal_result(shard: Shard, result: object) -> None:
+            nonlocal journaled
+            if self.journal is None:
+                return
+            self.journal.append(
+                {"shard": shard.shard_id, "payload": encode_result(result)}
+            )
+            journaled += 1
+            if self.abort_after is not None and journaled >= self.abort_after:
+                raise CampaignInterrupted(
+                    f"pool aborted after {journaled} journaled shard(s) "
+                    "(crash drill)",
+                    completed_pairs=journaled,
+                )
+
+        pending: List[Shard] = []
+        for shard in shards:
+            payload = replayable.get(shard.shard_id)
+            if payload is None:
+                pending.append(shard)
+                continue
+            try:
+                result = decode_result(payload)
+            except Exception:
+                report.journal_invalid_records += 1
+                pending.append(shard)
+                continue
+            install_fn(shard, result)
+            report.resumed += 1
+            count_shard("resumed")
+        if report.resumed:
+            publish(CATEGORY_POOL, "resumed", shards=report.resumed)
+
+        # -- Per-shard retry bookkeeping on the virtual clock. ----------
+        attempts: Dict[str, int] = {shard.shard_id: 0 for shard in pending}
+        elapsed: Dict[str, float] = {shard.shard_id: 0.0 for shard in pending}
+        report.retry.calls += len(pending)
+
+        def complete(shard: Shard, result: object, mode: str) -> None:
+            install_fn(shard, result)
+            if mode == "parallel":
+                report.completed_parallel += 1
+            else:
+                report.completed_serial += 1
+            count_shard(mode)
+            if self.breaker is not None and mode == "parallel":
+                self.breaker.record_success()
+            if mode == "parallel" and attempts[shard.shard_id] > 1:
+                report.retry.succeeded_after_retry += 1
+            report.retry.simulated_wait_s += elapsed[shard.shard_id]
+            journal_result(shard, result)
+
+        def complete_serial(shard: Shard) -> None:
+            try:
+                result = serial_fn(shard)
+            except Exception as exc:
+                raise ShardExecutionError(
+                    f"shard {shard.shard_id} failed serial recomputation: "
+                    f"{exc!r}",
+                    shard_id=shard.shard_id,
+                    keys=shard.keys,
+                ) from exc
+            complete(shard, result, "serial")
+
+        def fail_attempt(
+            shard: Shard,
+            attempt: int,
+            error: FaultError,
+            retry_round: List[Shard],
+            charge_breaker: bool = True,
+        ) -> None:
+            """One failed attempt: retry with backoff or quarantine.
+
+            ``charge_breaker=False`` marks collateral losses — shards
+            torn down with a pool they did not break.  They still burn
+            a retry attempt (conservative: their worker state is gone)
+            but must not push the breaker toward serial degradation,
+            or one hang would count as ``workers``-many offenses.
+            """
+            name = {
+                "pool-worker-crash": "worker_crash",
+                "pool-worker-hang": "worker_hang",
+                "pool-result-corrupt": "result_corrupt",
+            }.get(error.reason, "worker_error")
+            publish(
+                CATEGORY_POOL, name, shard=shard.shard_id, attempt=attempt
+            )
+            count_recovery(name)
+            if name == "worker_crash":
+                report.worker_crashes += 1
+            elif name == "worker_hang":
+                report.worker_hangs += 1
+            elif name == "result_corrupt":
+                report.corrupt_results += 1
+            else:
+                report.worker_errors += 1
+            if self.breaker is not None and charge_breaker:
+                self.breaker.record_failure()
+            policy = self.retry
+            elapsed[shard.shard_id] += policy.attempt_timeout_s
+            rng = random.Random(
+                derive_seed(policy.seed, "shard", shard.shard_id, attempt)
+            )
+            delay = policy.backoff(attempt, rng)
+            out_of_attempts = attempt >= policy.max_attempts
+            out_of_time = (
+                policy.deadline_s is not None
+                and elapsed[shard.shard_id] + delay > policy.deadline_s
+            )
+            if out_of_attempts or out_of_time:
+                report.retry.record_exhaustion(error)
+                report.retry.simulated_wait_s += elapsed[shard.shard_id]
+                elapsed[shard.shard_id] = 0.0
+                report.quarantined.append(shard.shard_id)
+                publish(
+                    CATEGORY_POOL,
+                    "quarantine",
+                    shard=shard.shard_id,
+                    reason=error.reason,
+                    attempts=attempt,
+                )
+                count_recovery("quarantine")
+                count_shard("quarantined")
+                complete_serial(shard)
+                return
+            report.retry.record_retry(error)
+            report.retries += 1
+            elapsed[shard.shard_id] += delay
+            publish(
+                CATEGORY_POOL,
+                "retry",
+                shard=shard.shard_id,
+                attempt=attempt,
+                reason=error.reason,
+            )
+            count_recovery("retry")
+            retry_round.append(shard)
+
+        pool: Optional[ProcessPoolExecutor] = None
+        serial_only = False
+        try:
+            while pending:
+                # Breaker tripped -> stop respawning pools entirely.
+                if (
+                    not serial_only
+                    and self.breaker is not None
+                    and self.breaker.state == OPEN
+                ):
+                    serial_only = True
+                    report.degraded_serial_mode = True
+                    publish(
+                        CATEGORY_POOL, "degrade_serial", shards=len(pending)
+                    )
+                    count_recovery("degrade_serial")
+                if serial_only:
+                    for shard in pending:
+                        complete_serial(shard)
+                    pending = []
+                    break
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=self.initializer,
+                        initargs=self.initargs,
+                    )
+                # One round: submit every pending shard, then harvest
+                # in submission order under the per-shard deadline.
+                submitted: List[Tuple[Shard, int, Optional[Future]]] = []
+                for shard in pending:
+                    attempts[shard.shard_id] += 1
+                    report.attempts += 1
+                    report.retry.attempts += 1
+                    attempt = attempts[shard.shard_id]
+                    try:
+                        future = pool.submit(
+                            self.worker_fn, shard.task, shard.shard_id, attempt
+                        )
+                    except (BrokenExecutor, RuntimeError):
+                        future = None
+                    submitted.append((shard, attempt, future))
+                retry_round: List[Shard] = []
+                pool_broken = False
+                for shard, attempt, future in submitted:
+                    if future is None:
+                        first_offense = not pool_broken
+                        pool_broken = True
+                        fail_attempt(
+                            shard,
+                            attempt,
+                            PoolWorkerCrash(
+                                f"pool rejected shard {shard.shard_id}"
+                            ),
+                            retry_round,
+                            charge_breaker=first_offense,
+                        )
+                        continue
+                    # Once the pool is known broken, only salvage
+                    # results that already finished — never block on a
+                    # future the dead pool can no longer complete.
+                    timeout = 0.0 if pool_broken else self.shard_timeout_s
+                    try:
+                        result = future.result(timeout=timeout)
+                    except FutureTimeout:
+                        if pool_broken:
+                            fail_attempt(
+                                shard,
+                                attempt,
+                                PoolWorkerCrash(
+                                    f"shard {shard.shard_id} lost to a "
+                                    "pool teardown"
+                                ),
+                                retry_round,
+                                charge_breaker=False,
+                            )
+                            continue
+                        # Hung shard: kill the pool's workers so the
+                        # wedged one cannot hold the run hostage.
+                        pool_broken = True
+                        self._kill_workers(pool)
+                        fail_attempt(
+                            shard,
+                            attempt,
+                            PoolWorkerHang(
+                                f"shard {shard.shard_id} missed its "
+                                f"{self.shard_timeout_s}s deadline"
+                            ),
+                            retry_round,
+                        )
+                        continue
+                    except BrokenExecutor:
+                        first_offense = not pool_broken
+                        pool_broken = True
+                        fail_attempt(
+                            shard,
+                            attempt,
+                            PoolWorkerCrash(
+                                f"worker died executing shard {shard.shard_id}"
+                            ),
+                            retry_round,
+                            charge_breaker=first_offense,
+                        )
+                        continue
+                    except Exception as exc:
+                        fail_attempt(
+                            shard,
+                            attempt,
+                            PoolWorkerCrash(
+                                f"shard {shard.shard_id} raised {exc!r}",
+                                reason="pool-worker-error",
+                            ),
+                            retry_round,
+                        )
+                        continue
+                    reason = (
+                        validate_fn(shard, result)
+                        if validate_fn is not None
+                        else None
+                    )
+                    if reason is not None:
+                        fail_attempt(
+                            shard,
+                            attempt,
+                            PoolResultCorrupt(
+                                f"shard {shard.shard_id}: {reason}"
+                            ),
+                            retry_round,
+                        )
+                        continue
+                    complete(shard, result, "parallel")
+                if pool_broken:
+                    self._teardown(pool)
+                    pool = None
+                    if retry_round:
+                        report.respawns += 1
+                        publish(CATEGORY_POOL, "respawn")
+                        count_recovery("respawn")
+                pending = retry_round
+        finally:
+            if pool is not None:
+                self._teardown(pool)
+            if self.journal is not None:
+                self.journal.close()
+        report.breaker = (
+            self.breaker.as_dict() if self.breaker is not None else None
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Pool teardown
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """Terminate every worker process (hang recovery)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    @staticmethod
+    def _teardown(pool: ProcessPoolExecutor) -> None:
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass

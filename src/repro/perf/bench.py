@@ -327,6 +327,67 @@ def active_robustness_overhead(
     }
 
 
+def pool_supervision_overhead(
+    study: StudyResults, repeats: int = 3, workers: int = 2
+) -> Dict[str, object]:
+    """Cost of supervised shard dispatch on a zero-fault pool run.
+
+    Interleaves the legacy raw ``pool.map`` path (``supervised=False``)
+    with the supervised shard executor over the same cold-engine
+    seven-layer classification, both forced onto a real process pool
+    (``min_parallel_trees=1``).  No faults are injected and no journal
+    is configured, so the delta is pure supervision bookkeeping —
+    shard ids, per-shard futures, deadline waits, validation — and CI
+    gates it under a few percent.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    def run_leg(supervised: bool):
+        engine_simple, engine_complex = _fresh_engines(study, canonical_keys=True)
+        layers = _layer_configs(study, engine_simple, engine_complex)
+        classifier = ParallelClassifier(
+            workers=workers, min_parallel_trees=1, supervised=supervised
+        )
+        start = time.perf_counter()
+        counts = classifier.classify_layers(study.decisions, layers)
+        return time.perf_counter() - start, counts, classifier
+
+    raw_s = supervised_s = float("inf")
+    raw_counts = supervised_counts = None
+    shard_report = None
+    for _ in range(max(repeats, 3)):
+        elapsed, raw_counts, _classifier = run_leg(False)
+        raw_s = min(raw_s, elapsed)
+        elapsed, supervised_counts, classifier = run_leg(True)
+        supervised_s = min(supervised_s, elapsed)
+        shard_report = classifier.last_shard_report
+    assert raw_counts is not None and supervised_counts is not None
+    identical = all(
+        raw_counts[layer] == supervised_counts[layer] for layer in FIGURE1_LAYERS
+    )
+    clean = bool(
+        shard_report is not None
+        and shard_report.accounted()
+        and shard_report.retries == 0
+        and shard_report.completed_serial == 0
+        and not shard_report.degraded_serial_mode
+    )
+    overhead = (
+        round((supervised_s / raw_s - 1.0) * 100.0, 2) if raw_s else None
+    )
+    return {
+        "fault_plan": None,
+        "workers": workers,
+        "shards": shard_report.shards_total if shard_report else 0,
+        "raw_seconds": round(raw_s, 6),
+        "supervised_seconds": round(supervised_s, 6),
+        "overhead_pct": overhead,
+        "results_identical": identical,
+        "zero_fault_clean": clean,
+    }
+
+
 def telemetry_overhead(
     study: StudyResults,
     workers: Optional[int] = None,
@@ -434,6 +495,7 @@ def run_benchmark(
             study, batched_s, workers=workers, repeats=repeats
         ),
         "active_robustness": active_robustness_overhead(study, repeats=repeats),
+        "pool_supervision": pool_supervision_overhead(study, repeats=repeats),
         "telemetry_overhead": telemetry_overhead(
             study, workers=workers, repeats=repeats
         ),
@@ -490,12 +552,14 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "obs", "hotpath"),
+        choices=("all", "obs", "hotpath", "pool"),
         default="all",
         help="'obs' measures and merges only the telemetry_overhead "
         "section; 'hotpath' runs both route-tree backends and refreshes "
-        "the hotpath, classification and cache sections; other recorded "
-        "sections stay untouched",
+        "the hotpath, classification and cache sections; 'pool' "
+        "measures supervised vs raw pool dispatch and refreshes the "
+        "pool_supervision section; other recorded sections stay "
+        "untouched",
     )
     parser.add_argument(
         "--check-obs-overhead",
@@ -512,6 +576,14 @@ def main(argv: Optional[list] = None) -> int:
         metavar="FACTOR",
         help="exit nonzero unless the array backend beats the dict "
         "batched path by at least FACTOR x (with identical results)",
+    )
+    parser.add_argument(
+        "--check-pool-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero if supervised pool dispatch costs more than "
+        "PCT percent over the raw pool on a zero-fault run",
     )
     parser.add_argument(
         "--json",
@@ -583,11 +655,42 @@ def main(argv: Optional[list] = None) -> int:
             failed = 1
         return failed
 
+    def check_pool_gate(pool: Dict[str, object]) -> int:
+        overhead = pool["overhead_pct"]
+        label = "n/a" if overhead is None else f"{overhead:+.1f}%"
+        say(
+            f"pool supervision (no faults): raw {pool['raw_seconds']:.3f}s -> "
+            f"supervised {pool['supervised_seconds']:.3f}s ({label}, "
+            f"{pool['shards']} shards, {pool['workers']} workers)"
+        )
+        failed = 0
+        if not pool["results_identical"]:
+            say("FAIL: supervised pool disagrees with the raw pool")
+            failed = 1
+        if not pool["zero_fault_clean"]:
+            say("FAIL: supervised pool took recovery actions on a clean run")
+            failed = 1
+        if args.check_pool_overhead is not None and (
+            overhead is None or overhead > args.check_pool_overhead
+        ):
+            say(
+                f"FAIL: pool supervision overhead {overhead}% exceeds "
+                f"{args.check_pool_overhead}% budget"
+            )
+            failed = 1
+        return failed
+
     def finish(written: Dict[str, object], path: str, failed: int) -> int:
         say(f"wrote {path}")
         if args.json:
             print(json.dumps(written, indent=2, sort_keys=True))
         return failed
+
+    if args.section == "pool":
+        pool = pool_supervision_overhead(study, repeats=args.repeats)
+        written = {"pool_supervision": pool}
+        path = write_bench_file(written, args.out)
+        return finish(written, path, check_pool_gate(pool))
 
     if args.section == "obs":
         telemetry = telemetry_overhead(
@@ -690,6 +793,7 @@ def main(argv: Optional[list] = None) -> int:
         f"{active['discovery_targets']} targets, "
         f"{active['magnet_rounds']} magnet rounds)"
     )
+    failed |= check_pool_gate(payload["pool_supervision"])
     failed |= check_gate(payload["telemetry_overhead"])
     if not cls["results_identical"]:
         failed = 1

@@ -8,6 +8,16 @@ process pool (each worker rebuilds the engine once from a pickled
 graph payload), installs the results into the engines' caches, and then
 grades every layer against warm caches with the batched classifiers.
 
+Pool dispatch is *supervised* by default: the missing trees are cut
+into deterministic shards and run through
+:class:`repro.faults.pool.SupervisedShardExecutor`, which survives
+worker crashes (``BrokenProcessPool``), hung shards, and corrupt
+results — retrying on a respawned pool, quarantining repeat offenders
+to serial in-process recomputation, and journaling finished shards to
+``<shard_checkpoint>`` so a killed study resumes without recomputing
+them.  Results are identical to the serial path on every branch of
+that ladder.
+
 For small inputs — or when ``REPRO_WORKERS`` (or the machine) allows
 only one worker — precomputation falls back to serial in-process
 builds; results are identical either way.
@@ -15,9 +25,13 @@ builds; results are identical either way.
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -32,6 +46,17 @@ from repro.core.classification import (
     label_grouped,
 )
 from repro.core.gao_rexford import GaoRexfordEngine, RoutingInfo
+from repro.faults.errors import ShardExecutionError
+from repro.faults.plan import FaultPlan, FaultSite
+from repro.faults.pool import (
+    DEFAULT_SHARD_TIMEOUT_S,
+    Shard,
+    ShardExecutionReport,
+    ShardJournal,
+    SupervisedShardExecutor,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.supervisor import CircuitBreaker
 from repro.obs.context import get_obs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span
@@ -43,12 +68,18 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Below this many missing trees the pool costs more than it saves.
 DEFAULT_MIN_PARALLEL_TREES = 24
 
+#: How long an injected hang sleeps in the worker.  Kept far above any
+#: reasonable ``shard_timeout_s`` so a "hang" is only ever resolved by
+#: the supervisor's deadline, never by the sleep finishing first.
+DEFAULT_HANG_SLEEP_S = 120.0
+
 
 def worker_count(default: Optional[int] = None) -> int:
     """Resolve the precompute worker count.
 
     Precedence: the ``REPRO_WORKERS`` environment variable, then
-    ``default``, then the CPU count.
+    ``default``, then the CPU count.  ``0`` and ``1`` both mean
+    "serial"; negative values are a configuration error.
     """
     raw = os.environ.get(WORKERS_ENV)
     if raw is not None and raw.strip():
@@ -58,7 +89,11 @@ def worker_count(default: Optional[int] = None) -> int:
             raise ValueError(
                 f"{WORKERS_ENV} must be an integer, got {raw!r}"
             ) from None
-        return max(0, workers)
+        if workers < 0:
+            raise ValueError(
+                f"{WORKERS_ENV} must be >= 0 (0/1 mean serial), got {workers}"
+            )
+        return workers
     if default is not None:
         return default
     return os.cpu_count() or 1
@@ -85,36 +120,67 @@ class PrecomputeReport:
 # ---------------------------------------------------------------------------
 
 #: Per-worker state: engine specs from the initializer payload, the
-#: engines lazily built from them, and whether to collect metrics.
+#: engines lazily built from them, whether to collect metrics, and the
+#: fault-injection knobs (plan + hang sleep) shipped by the parent.
 _worker_specs: Optional[List[Tuple[object, FrozenSet[Tuple[int, int]], str]]] = None
 _worker_engines: Dict[int, GaoRexfordEngine] = {}
 _worker_collect_metrics = False
+_worker_fault_plan: Optional[FaultPlan] = None
+_worker_hang_sleep_s = DEFAULT_HANG_SLEEP_S
 
 
 def _pool_init(payload: bytes) -> None:
     global _worker_specs, _worker_engines, _worker_collect_metrics
-    _worker_specs, _worker_collect_metrics = pickle.loads(payload)
+    global _worker_fault_plan, _worker_hang_sleep_s
+    (
+        _worker_specs,
+        _worker_collect_metrics,
+        _worker_fault_plan,
+        _worker_hang_sleep_s,
+    ) = pickle.loads(payload)
     _worker_engines = {}
 
 
 def _pool_build(
-    task: Tuple[int, Sequence[TreeKey]]
+    task: Tuple[int, Sequence[TreeKey]],
+    shard_id: str = "",
+    attempt: int = 1,
 ) -> Tuple[int, List[Tuple[TreeKey, RoutingInfo]], Optional[Dict]]:
-    """Build one chunk of routing trees in a worker process.
+    """Build one shard of routing trees in a worker process.
 
     Returns the engine index, the built trees, and — when the parent
-    enabled telemetry — a metric snapshot covering just this chunk.
+    enabled telemetry — a metric snapshot covering just this shard.
     Snapshots merge associatively in the parent, so the nondeterministic
-    completion order of chunks cannot change the merged totals.
+    completion order of shards cannot change the merged totals.
+
+    Fault injection (worker side): when the parent shipped a
+    :class:`FaultPlan`, the pool sites are rolled per
+    ``(shard_id, attempt)`` — a crash SIGKILLs this worker (the parent
+    sees ``BrokenProcessPool``), a hang sleeps past the supervisor's
+    deadline, and a corruption drops the shard's last tree so the
+    parent-side validation rejects the result.
     """
     engine_index, keys = task
     assert _worker_specs is not None, "pool used without initializer"
+    plan = _worker_fault_plan
+    if plan is not None and shard_id:
+        if plan.fires(FaultSite.POOL_WORKER_CRASH, shard_id, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if plan.fires(FaultSite.POOL_WORKER_HANG, shard_id, attempt):
+            time.sleep(_worker_hang_sleep_s)
     engine = _worker_engines.get(engine_index)
     if engine is None:
         graph, partial, backend = _worker_specs[engine_index]
         engine = GaoRexfordEngine(graph, partial_transit=partial, backend=backend)
         _worker_engines[engine_index] = engine
     results = [(key, engine.routing_info(key[0], key[1])) for key in keys]
+    if (
+        plan is not None
+        and shard_id
+        and results
+        and plan.fires(FaultSite.POOL_RESULT_CORRUPT, shard_id, attempt)
+    ):
+        results = results[:-1]
     snapshot: Optional[Dict] = None
     if _worker_collect_metrics:
         registry = MetricsRegistry()
@@ -148,6 +214,65 @@ def _sortable(key: TreeKey) -> Tuple[int, int, Tuple[int, ...]]:
     return (destination, 1, tuple(sorted(allowed)))
 
 
+# ---------------------------------------------------------------------------
+# Shard identity: content-addressed ids + journal fingerprints
+# ---------------------------------------------------------------------------
+
+#: ``id(graph) -> (version, fingerprint)`` — graphs are immutable during
+#: a precompute pass, so the links hash is computed once per version.
+_GRAPH_FP_CACHE: Dict[int, Tuple[Optional[int], str]] = {}
+
+
+def _graph_fingerprint(graph) -> str:
+    """Hash of the graph's full link set — the shard journal's header
+    fingerprint, so a journal can never replay trees onto a different
+    topology (same-shape different-seed graphs included)."""
+    version = getattr(graph, "_version", None)
+    cached = _GRAPH_FP_CACHE.get(id(graph))
+    if cached is not None and version is not None and cached[0] == version:
+        return cached[1]
+    digest = hashlib.blake2b(digest_size=8)
+    for a, b, rel in sorted(
+        graph.links(), key=lambda link: (link[0], link[1], str(link[2].value))
+    ):
+        digest.update(f"{a}|{b}|{rel.value}\n".encode("utf-8"))
+    fingerprint = digest.hexdigest()
+    _GRAPH_FP_CACHE[id(graph)] = (version, fingerprint)
+    return fingerprint
+
+
+def _engine_fingerprint(engine: GaoRexfordEngine) -> str:
+    """Backend + partial-transit digest folded into every shard id, so
+    journal replay matches only shards built by an identically
+    configured engine (the graph itself is covered by the header)."""
+    digest = hashlib.blake2b(digest_size=4)
+    digest.update(str(getattr(engine, "backend", "dict")).encode("utf-8"))
+    for provider, customer in sorted(engine.partial_transit):
+        digest.update(f"|{provider},{customer}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _keys_fingerprint(keys: Sequence[TreeKey]) -> str:
+    digest = hashlib.blake2b(digest_size=4)
+    for key in keys:
+        digest.update(repr(_sortable(key)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _encode_shard_result(result: object) -> str:
+    """Journal codec: persist (engine_index, trees) but never the
+    metric snapshot — replayed work did not re-run, so it must not
+    re-count."""
+    engine_index, results, _snapshot = result
+    raw = pickle.dumps((engine_index, results), protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _decode_shard_result(payload: str) -> object:
+    engine_index, results = pickle.loads(base64.b64decode(payload.encode("ascii")))
+    return engine_index, results, None
+
+
 class ParallelClassifier:
     """Precomputes routing trees across layers, then grades in batch.
 
@@ -157,6 +282,16 @@ class ParallelClassifier:
     pool.  An explicitly passed ``workers`` is honored as-is.  A pool
     is only spawned when more than ``min_parallel_trees`` trees are
     missing and the effective worker count exceeds one.
+
+    Pool dispatch runs through :class:`SupervisedShardExecutor` unless
+    ``supervised=False`` selects the legacy raw ``pool.map`` path (used
+    as the bench baseline).  ``fault_plan`` ships deterministic
+    crash/hang/corruption injection to the workers; ``shard_checkpoint``
+    journals finished shards for resume (``resume=True`` replays an
+    existing journal, ``resume=False`` discards one left by an earlier
+    run); ``abort_after_shards`` is the crash-drill knob — the run
+    raises :class:`CampaignInterrupted` after that many shards have
+    been journaled.
     """
 
     def __init__(
@@ -164,13 +299,44 @@ class ParallelClassifier:
         workers: Optional[int] = None,
         min_parallel_trees: int = DEFAULT_MIN_PARALLEL_TREES,
         chunk_size: int = 8,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        shard_checkpoint: Optional[str] = None,
+        resume: bool = False,
+        shard_timeout_s: Optional[float] = None,
+        hang_sleep_s: float = DEFAULT_HANG_SLEEP_S,
+        abort_after_shards: Optional[int] = None,
+        supervised: bool = True,
     ) -> None:
         if workers is None:
             workers = min(worker_count(), os.cpu_count() or 1)
         self.workers = workers
         self.min_parallel_trees = min_parallel_trees
         self.chunk_size = max(1, chunk_size)
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.shard_checkpoint = shard_checkpoint
+        self.resume = resume
+        self.shard_timeout_s = (
+            DEFAULT_SHARD_TIMEOUT_S if shard_timeout_s is None else shard_timeout_s
+        )
+        self.hang_sleep_s = hang_sleep_s
+        self.supervised = supervised
         self.last_report: Optional[PrecomputeReport] = None
+        #: Merged :class:`ShardExecutionReport` across every supervised
+        #: pool pass this classifier ran (a study runs several passes:
+        #: classify + per-layer labeling).  ``None`` until a pool pass
+        #: actually happens.
+        self.last_shard_report: Optional[ShardExecutionReport] = None
+        #: One breaker for the classifier's lifetime, so repeat offenses
+        #: accumulate across passes rather than resetting per pass.
+        self._breaker = CircuitBreaker(failure_threshold=4, cooldown=4)
+        #: Crash-drill budget left (decremented as passes journal
+        #: shards); ``None`` means no drill.
+        self._abort_remaining = abort_after_shards
+        #: Whether a stale journal (resume=False) was already discarded;
+        #: later passes of the same run must append, not truncate.
+        self._journal_cleared = False
         #: Layer name -> {"delta": ..., "cumulative": ...} cache stats
         #: from the most recent :meth:`classify_layers` call.  The
         #: engine's counters are cumulative across layers, so the delta
@@ -277,34 +443,163 @@ class ParallelClassifier:
             "Routing trees already cached when precompute ran.",
         ).inc(report.trees_reused)
 
+    def _build_shards(
+        self, engines: Sequence[GaoRexfordEngine], missing: Sequence[List[TreeKey]]
+    ) -> List[Shard]:
+        """Cut the missing trees into deterministic, content-addressed
+        shards.
+
+        Keys are stable-sorted before chunking, so the same missing set
+        always produces the same shards; the id folds in the keys and
+        the engine configuration, so a journal record replays only onto
+        the exact shard it was written for — making unconditional
+        replay safe even across the study's classify/label passes.
+        """
+        shards: List[Shard] = []
+        for index, keys in enumerate(missing):
+            engine_fp = _engine_fingerprint(engines[index])
+            ordered = sorted(keys, key=_sortable)
+            for ordinal, start in enumerate(
+                range(0, len(ordered), self.chunk_size)
+            ):
+                chunk = tuple(ordered[start : start + self.chunk_size])
+                shard_id = (
+                    f"{index}:{ordinal}:{_keys_fingerprint(chunk)}:{engine_fp}"
+                )
+                shards.append(Shard(shard_id=shard_id, task=(index, chunk), keys=chunk))
+        return shards
+
     def _precompute_pool(
         self, engines: Sequence[GaoRexfordEngine], missing: Sequence[List[TreeKey]]
     ) -> None:
         metrics = get_obs().metrics
-        payload = pickle.dumps(
-            (
-                [
-                    (engine.graph, engine.partial_transit, engine.backend)
-                    for engine in engines
-                ],
-                metrics.enabled,
-            ),
-            protocol=pickle.HIGHEST_PROTOCOL,
+        try:
+            payload = pickle.dumps(
+                (
+                    [
+                        (engine.graph, engine.partial_transit, engine.backend)
+                        for engine in engines
+                    ],
+                    metrics.enabled,
+                    self.fault_plan,
+                    self.hang_sleep_s,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise ShardExecutionError(
+                f"precompute payload is not picklable: {exc!r}",
+                keys=tuple(key for keys in missing for key in keys),
+            ) from exc
+        shards = self._build_shards(engines, missing)
+
+        def install(shard: Shard, result: object) -> None:
+            engine_index, results, snapshot = result
+            engine = engines[engine_index]
+            for (destination, allowed), info in results:
+                engine.warm(destination, allowed, info)
+            if snapshot is not None and metrics.enabled:
+                metrics.merge_snapshot(snapshot)
+
+        if not self.supervised:
+            self._precompute_pool_raw(shards, payload, install)
+            return
+
+        def validate(shard: Shard, result: object) -> Optional[str]:
+            engine_index, keys = shard.task
+            if (
+                not isinstance(result, tuple)
+                or len(result) != 3
+                or result[0] != engine_index
+            ):
+                return "malformed worker result"
+            returned = [key for key, _info in result[1]]
+            if returned != list(keys):
+                return (
+                    f"worker returned {len(returned)} tree(s) for "
+                    f"{len(keys)} requested key(s)"
+                )
+            return None
+
+        def serial(shard: Shard) -> object:
+            engine_index, keys = shard.task
+            engine = engines[engine_index]
+            return (
+                engine_index,
+                [(key, engine.routing_info(key[0], key[1])) for key in keys],
+                None,
+            )
+
+        journal = None
+        if self.shard_checkpoint is not None:
+            if not self.resume and not self._journal_cleared:
+                # A journal left over from an unrelated earlier run must
+                # not silently feed this one; later passes of *this* run
+                # append to the same file.
+                if os.path.exists(self.shard_checkpoint):
+                    os.remove(self.shard_checkpoint)
+            self._journal_cleared = True
+            journal = ShardJournal(self.shard_checkpoint)
+
+        executor = SupervisedShardExecutor(
+            _pool_build,
+            workers=self.workers,
+            initializer=_pool_init,
+            initargs=(payload,),
+            retry=self.retry,
+            breaker=self._breaker,
+            shard_timeout_s=self.shard_timeout_s,
+            journal=journal,
+            context_fingerprint=_graph_fingerprint(engines[0].graph),
+            abort_after=self._abort_remaining,
         )
-        tasks: List[Tuple[int, List[TreeKey]]] = []
-        for index, keys in enumerate(missing):
-            ordered = sorted(keys, key=_sortable)
-            for start in range(0, len(ordered), self.chunk_size):
-                tasks.append((index, ordered[start : start + self.chunk_size]))
-        with ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_pool_init, initargs=(payload,)
-        ) as pool:
-            for engine_index, results, snapshot in pool.map(_pool_build, tasks):
-                engine = engines[engine_index]
-                for (destination, allowed), info in results:
-                    engine.warm(destination, allowed, info)
-                if snapshot is not None:
-                    metrics.merge_snapshot(snapshot)
+        report = executor.run(
+            shards,
+            serial_fn=serial,
+            install_fn=install,
+            validate_fn=validate,
+            encode_result=_encode_shard_result,
+            decode_result=_decode_shard_result,
+        )
+        if self._abort_remaining is not None:
+            self._abort_remaining -= report.completed_parallel + report.completed_serial
+        if self.last_shard_report is None:
+            self.last_shard_report = report
+        else:
+            self.last_shard_report.merge(report)
+
+    def _precompute_pool_raw(
+        self, shards: Sequence[Shard], payload: bytes, install
+    ) -> None:
+        """Legacy unsupervised dispatch: one ``pool.map``, no recovery.
+
+        Kept as the bench baseline for measuring supervision overhead.
+        A dead worker or unpicklable result no longer escapes as a bare
+        ``concurrent.futures`` traceback: it is mapped to
+        :class:`ShardExecutionError` carrying the tree keys of the first
+        shard that cannot have completed.
+        """
+        completed = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(payload,),
+            ) as pool:
+                for shard, result in zip(
+                    shards, pool.map(_pool_build, [shard.task for shard in shards])
+                ):
+                    install(shard, result)
+                    completed += 1
+        except (BrokenExecutor, pickle.PicklingError) as exc:
+            failed = shards[min(completed, len(shards) - 1)]
+            raise ShardExecutionError(
+                f"unsupervised pool lost shard {failed.shard_id} "
+                f"({type(exc).__name__}: {exc}); supervised dispatch would "
+                "have retried it",
+                shard_id=failed.shard_id,
+                keys=failed.keys,
+            ) from exc
 
     # ------------------------------------------------------------------
     # Batched grading over warm caches

@@ -69,9 +69,16 @@ class TestWorkerCount:
         assert worker_count() == 3
         assert worker_count(default=7) == 3
 
-    def test_negative_env_clamps_to_zero(self, monkeypatch):
+    def test_negative_env_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValueError, match=rf"{WORKERS_ENV} must be >= 0"):
+            worker_count()
+
+    def test_zero_and_one_still_mean_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
         assert worker_count() == 0
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert worker_count() == 1
 
     def test_invalid_env_raises(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
