@@ -42,6 +42,7 @@ from repro.faults import (
     RetryPolicy,
     RetryStats,
     RobustnessReport,
+    StoragePolicy,
     derive_seed,
     pair_key,
 )
@@ -79,9 +80,16 @@ class CampaignConfig:
     checkpoint_path: Optional[str] = None
     resume: bool = False
     abort_after: Optional[int] = None
+    #: Durability/fault policy the checkpoint journal is written under;
+    #: defaults to the process-wide durability with this campaign's
+    #: fault plan (so storage fault sites fire even without a ledger).
+    storage: Optional[StoragePolicy] = None
 
     def wants_resilience(self) -> bool:
         return self.fault_plan is not None or self.checkpoint_path is not None
+
+    def journal_storage(self) -> StoragePolicy:
+        return self.storage or StoragePolicy(fault_plan=self.fault_plan)
 
 
 @dataclass(frozen=True)
@@ -337,7 +345,9 @@ def run_resilient_campaign(
     journal: Optional[CheckpointJournal] = None
     journaled: Dict[Tuple[int, str], Dict] = {}
     if config.checkpoint_path is not None:
-        journal = CheckpointJournal(config.checkpoint_path)
+        journal = CheckpointJournal(
+            config.checkpoint_path, storage=config.journal_storage()
+        )
         if config.resume and journal.exists():
             header, records = journal.load()
             expected = _journal_header(config, plan)

@@ -947,6 +947,114 @@ def check_pool_supervision(scenario: Scenario) -> List[Disagreement]:
 
 
 # ---------------------------------------------------------------------------
+# Ledger resume vs fresh (heavy, opt-in)
+# ---------------------------------------------------------------------------
+
+
+def check_ledger_resume(scenario: Scenario) -> List[Disagreement]:
+    """A study crash-looped through filesystem faults and resumed via
+    its run ledger must match an uninterrupted run byte-for-byte.
+
+    For each engine backend, runs one fresh study (no run directory,
+    same fault plan — only storage sites are armed, which never alter
+    measurement outputs), then a chaos study into a ledger-managed run
+    directory: torn appends, ENOSPC, pre-rename crashes and stale
+    locks fire at seeded points, each crash is "rebooted" by re-opening
+    the study with ``resume=True``, and the final results are compared
+    through the byte-deterministic golden serializer.  Heavy — every
+    seed runs several end-to-end studies — so the runner only includes
+    it when named via ``--only ledger-resume``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.check.golden import serialize, snapshot_study
+    from repro.core.pipeline import Study, StudyConfig
+    from repro.faults import CampaignInterrupted, RunLedger
+    from repro.faults.plan import FaultPlan, FaultSite
+    from repro.topogen.config import small_config
+
+    seed = scenario.seed
+    plan = FaultPlan(
+        seed=seed,
+        rates={
+            FaultSite.STORAGE_TORN_APPEND: 0.004,
+            FaultSite.STORAGE_ENOSPC: 0.002,
+            FaultSite.STORAGE_RENAME_CRASH: 0.05,
+            FaultSite.STORAGE_STALE_LOCK: 0.3,
+        },
+    )
+    max_attempts = 25
+
+    def base_config(backend: str) -> StudyConfig:
+        return StudyConfig(
+            topology=small_config(),
+            seed=seed,
+            backend=backend,
+            num_probes=100,
+            probes_per_continent=8,
+            active_vp_budget=24,
+            max_discovery_targets=8,
+            fault_plan=plan,
+            pool_workers=2,
+            pool_min_parallel_trees=1,
+            durability="flush",
+        )
+
+    problems: List[Disagreement] = []
+    for backend in ("dict", "array"):
+        fresh = serialize(snapshot_study(Study(base_config(backend)).run()))
+        run_dir = tempfile.mkdtemp(prefix="repro-ledger-check-")
+        try:
+            chaos: Optional[str] = None
+            crashes = 0
+            for attempt in range(max_attempts):
+                config = base_config(backend)
+                config.run_dir = run_dir
+                config.resume = attempt > 0
+                try:
+                    results = Study(config).run()
+                except (CampaignInterrupted, OSError):
+                    crashes += 1
+                    continue
+                chaos = serialize(snapshot_study(results))
+                break
+            if chaos is None:
+                problems.append(
+                    Disagreement(
+                        "ledger-resume",
+                        seed,
+                        f"{backend} backend: study never completed within "
+                        f"{max_attempts} resume attempts ({crashes} crashes)",
+                    )
+                )
+                continue
+            if chaos != fresh:
+                problems.append(
+                    Disagreement(
+                        "ledger-resume",
+                        seed,
+                        f"{backend} backend: resumed study diverges from the "
+                        f"uninterrupted run after {crashes} crash(es)",
+                    )
+                )
+            ledger = RunLedger.read(run_dir)
+            if ledger is None or ledger.get("status") != "completed":
+                problems.append(
+                    Disagreement(
+                        "ledger-resume",
+                        seed,
+                        f"{backend} backend: ledger status is "
+                        f"{ledger and ledger.get('status')!r}, expected "
+                        "'completed'",
+                    )
+                )
+        finally:
+            shutil.rmtree(run_dir, ignore_errors=True)
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Whole-seed battery
 # ---------------------------------------------------------------------------
 
@@ -968,6 +1076,7 @@ SEED_CHECKS = {
 #: spawns real pool worker processes).
 HEAVY_SCENARIO_CHECKS = {
     "pool-supervised": check_pool_supervision,
+    "ledger-resume": check_ledger_resume,
 }
 
 

@@ -106,12 +106,17 @@ def bless(
     directory: str = DEFAULT_GOLDEN_DIR,
     seed: int = GOLDEN_SEED,
 ) -> str:
-    """Write ``snapshot`` as the blessed golden; returns the path."""
+    """Write ``snapshot`` as the blessed golden; returns the path.
+
+    The write is atomic (temp file + ``os.replace``): a crash during
+    ``repro check bless`` leaves the previous golden intact instead of
+    a half-written file that fails every future gate.
+    """
+    from repro.faults.storage import write_text_atomic
+
     os.makedirs(directory, exist_ok=True)
     path = golden_path(directory, seed)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(serialize(snapshot))
-    return path
+    return write_text_atomic(path, serialize(snapshot))
 
 
 def diff_snapshots(

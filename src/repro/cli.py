@@ -8,21 +8,30 @@ Usage::
 
     repro study [--seed N] [--small] [--experiment ID]
           [--backend dict|array]
-          [--fault-plan PLAN.json] [--checkpoint FILE] [--resume FILE]
-          [--shard-checkpoint FILE]
+          [--fault-plan PLAN.json] [--checkpoint FILE] [--resume [FILE]]
+          [--shard-checkpoint FILE] [--run-dir DIR]
+          [--durability fsync|flush|none]
         Run the full study and print every experiment report (or just
         the one named by --experiment).  A fault plan injects failures
         at every substrate boundary — including the active control
         plane (poison filtering, damping, convergence stalls, feed
-        gaps, withdrawal loss) and the precompute process pool (worker
-        crashes, hangs, corrupt results); --checkpoint journals
+        gaps, withdrawal loss), the precompute process pool (worker
+        crashes, hangs, corrupt results) and the filesystem (torn
+        appends, ENOSPC, pre-rename crashes, stale locks).
+
+        --run-dir DIR scopes all of a study's durable state to one
+        ledger-managed directory (DIR/ledger.json, campaign.jsonl,
+        active.jsonl, shards.jsonl) under an advisory lock, and a bare
+        --run-dir DIR --resume restores the passive, active and
+        precompute state together, byte-identical to an uninterrupted
+        run.  Legacy per-file knobs remain: --checkpoint journals
         campaign progress (the active phase journals to FILE.active,
         the precompute pool's finished shards to FILE.shards) and
-        --resume restores a killed campaign — passive, active and
-        precompute — from its journals without re-spending measurement
-        credits, testbed announcements, or routing-tree builds.
+        --resume FILE restores a killed campaign from that journal;
         --shard-checkpoint journals the pool's shards to a specific
-        file without a campaign checkpoint.
+        file without a campaign checkpoint.  --checkpoint and --resume
+        are mutually exclusive.  --durability picks the fsync policy
+        checkpoint writes use (see DESIGN.md §12).
 
     repro list
         List available experiment ids.
@@ -74,11 +83,20 @@ def _run_study(
     small: bool,
     fault_plan: Optional[str] = None,
     checkpoint: Optional[str] = None,
-    resume: Optional[str] = None,
+    resume=None,
     shard_checkpoint: Optional[str] = None,
     obs: bool = False,
     backend: str = "dict",
+    run_dir: Optional[str] = None,
+    durability: Optional[str] = None,
 ) -> StudyResults:
+    """Build and run a study from CLI-shaped arguments.
+
+    ``resume`` is either a journal path (legacy ``--resume FILE``) or
+    ``True`` (bare ``--resume``, ledger-managed via ``run_dir``).
+    Conflicting combinations are rejected by :func:`_cmd_study` before
+    this is called.
+    """
     config = StudyConfig(topology=_topology_config(small), seed=seed, backend=backend)
     if small:
         config.num_probes = 400
@@ -89,13 +107,18 @@ def _run_study(
         from repro.faults import FaultPlan
 
         config.fault_plan = FaultPlan.load(fault_plan)
-    if resume is not None:
+    if run_dir is not None:
+        config.run_dir = run_dir
+        config.resume = bool(resume)
+    elif isinstance(resume, str):
         config.checkpoint_path = resume
         config.resume = True
     elif checkpoint is not None:
         config.checkpoint_path = checkpoint
     if shard_checkpoint is not None:
         config.shard_checkpoint_path = shard_checkpoint
+    if durability is not None:
+        config.durability = durability
     if obs:
         from repro.obs import Observability, using
 
@@ -229,7 +252,51 @@ def _write_figures(results: StudyResults, directory: str) -> list:
     return written
 
 
+def _study_flag_conflict(args: argparse.Namespace) -> Optional[str]:
+    """The error message for an invalid flag combination, or ``None``.
+
+    ``--checkpoint`` + ``--resume`` used to silently ignore
+    ``--checkpoint``; persistence flags now fail loudly instead of
+    guessing which journal the operator meant.
+    """
+    run_dir = getattr(args, "run_dir", None)
+    resume = args.resume
+    if run_dir is not None:
+        for flag, value in (
+            ("--checkpoint", args.checkpoint),
+            ("--shard-checkpoint", getattr(args, "shard_checkpoint", None)),
+        ):
+            if value is not None:
+                return (
+                    f"--run-dir and {flag} are mutually exclusive: the run "
+                    "ledger owns every checkpoint path inside the run "
+                    "directory"
+                )
+        if isinstance(resume, str):
+            return (
+                "--resume takes no FILE when --run-dir is set: the ledger "
+                "already knows its journals (use a bare --resume)"
+            )
+        return None
+    if resume is True:
+        return (
+            "a bare --resume requires --run-dir DIR (ledger-managed runs); "
+            "legacy journals need an explicit --resume FILE"
+        )
+    if args.checkpoint is not None and resume is not None:
+        return (
+            "--checkpoint and --resume are mutually exclusive: --resume FILE "
+            "already names the journal to continue appending to (it was "
+            "previously ignored silently)"
+        )
+    return None
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
+    conflict = _study_flag_conflict(args)
+    if conflict is not None:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
     obs_out = getattr(args, "obs_out", None)
     results = _run_study(
         args.seed,
@@ -240,6 +307,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         shard_checkpoint=getattr(args, "shard_checkpoint", None),
         obs=bool(getattr(args, "obs", False)) or obs_out is not None,
         backend=getattr(args, "backend", "dict"),
+        run_dir=getattr(args, "run_dir", None),
+        durability=getattr(args, "durability", None),
     )
     if obs_out is not None and results.manifest is not None:
         results.manifest.save(obs_out)
@@ -272,6 +341,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if results.active_robustness is not None and (
         results.config.fault_plan is not None
         or results.config.checkpoint_path is not None
+        or results.config.run_dir is not None
     ):
         print(results.active_robustness.render())
         print()
@@ -465,11 +535,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--resume",
+        nargs="?",
+        const=True,
         default=None,
         metavar="FILE",
-        help="resume a killed campaign from its checkpoint journal "
-        "(skips journaled work without re-spending credits; also "
-        "replays FILE.shards precompute shards)",
+        help="resume a killed study: bare --resume restores the "
+        "--run-dir ledger (passive, active and precompute together); "
+        "--resume FILE restores a legacy checkpoint journal (skips "
+        "journaled work without re-spending credits; also replays "
+        "FILE.shards precompute shards).  Mutually exclusive with "
+        "--checkpoint",
+    )
+    study.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="durable run directory managed by the run ledger "
+        "(DIR/ledger.json + campaign/active/shard journals under an "
+        "advisory lock); resume it with --run-dir DIR --resume",
+    )
+    study.add_argument(
+        "--durability",
+        choices=("fsync", "flush", "none"),
+        default=None,
+        help="fsync policy for checkpoint and ledger writes (default "
+        "fsync, or the REPRO_DURABILITY environment variable)",
     )
     study.add_argument(
         "--shard-checkpoint",
@@ -560,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CHECK",
         help="restrict to one check (repeatable): gr-tree, labels, "
         "metamorphic, bgp-decision, lpm; heavy opt-in checks "
-        "(pool-supervised) run only when named here",
+        "(pool-supervised, ledger-resume) run only when named here",
     )
     check_run.add_argument(
         "--progress", action="store_true", help="print progress to stderr"

@@ -54,7 +54,9 @@ from repro.faults import (
     MalformedResultError,
     RetryPolicy,
     RobustnessReport,
+    RunLedger,
     ShardExecutionReport,
+    StoragePolicy,
 )
 from repro.ipmap.geolocation import GeoDatabase
 from repro.ipmap.ip2as import IPToASMapper
@@ -69,7 +71,7 @@ from repro.peering.experiments import (
     run_magnet_experiments,
 )
 from repro.obs.context import get_obs
-from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.manifest import RunManifest, _primitive, build_manifest
 from repro.obs.trace import Tracer
 from repro.peering.testbed import PeeringTestbed
 from repro.topogen.config import TopologyConfig
@@ -160,6 +162,22 @@ class StudyConfig:
     pool_min_parallel_trees: Optional[int] = None
     shard_timeout_s: Optional[float] = None
     shard_abort_after: Optional[int] = None
+    #: Explicit active-phase checkpoint; defaults to
+    #: ``<checkpoint_path>.active`` when a campaign checkpoint is set.
+    active_checkpoint_path: Optional[str] = None
+    #: Durable run ledger (DESIGN.md §12): scope the campaign, active
+    #: and shard checkpoints to one run directory under a single lock,
+    #: with config/graph fingerprints guarding resume.  Overrides the
+    #: individual ``*_checkpoint_path`` knobs.
+    run_dir: Optional[str] = None
+    #: Storage durability policy for every checkpoint/ledger write:
+    #: ``fsync`` (default), ``flush`` or ``none``
+    #: (see :mod:`repro.faults.storage`).
+    durability: Optional[str] = None
+    #: Route-tree computation backend for the classification engines:
+    #: ``dict`` (readable reference) or ``array`` (CSR/numpy hot path,
+    #: byte-identical study outputs — see DESIGN.md §10).
+    backend: str = "dict"
 
     def effective_shard_checkpoint(self) -> Optional[str]:
         """The shard-journal path: explicit, or derived from the
@@ -169,10 +187,59 @@ class StudyConfig:
         if self.checkpoint_path is not None:
             return self.checkpoint_path + ".shards"
         return None
-    #: Route-tree computation backend for the classification engines:
-    #: ``dict`` (readable reference) or ``array`` (CSR/numpy hot path,
-    #: byte-identical study outputs — see DESIGN.md §10).
-    backend: str = "dict"
+
+    def effective_active_checkpoint(self) -> Optional[str]:
+        """The active-phase journal path, mirroring the shard rule."""
+        if self.active_checkpoint_path is not None:
+            return self.active_checkpoint_path
+        if self.checkpoint_path is not None:
+            return self.checkpoint_path + ".active"
+        return None
+
+
+#: Config fields that control *how* a study persists and executes, not
+#: *what* it computes — two runs differing only here produce identical
+#: results, so the run ledger's identity fingerprint must ignore them
+#: (a fresh run and its resume legitimately differ in ``resume``,
+#: ``run_dir`` and checkpoint paths).
+_PERSISTENCE_FIELDS = frozenset(
+    {
+        "fault_plan",
+        "retry_policy",
+        "checkpoint_path",
+        "resume",
+        "shard_checkpoint_path",
+        "pool_workers",
+        "pool_min_parallel_trees",
+        "shard_timeout_s",
+        "shard_abort_after",
+        "active_checkpoint_path",
+        "run_dir",
+        "durability",
+    }
+)
+
+
+def study_fingerprint(config: StudyConfig) -> str:
+    """Digest of the result-determining part of a study configuration.
+
+    The run ledger records this on open and refuses to resume a run
+    directory whose fingerprint differs — mixing checkpoints from two
+    different studies would silently produce a franken-dataset.  The
+    fault plan is fingerprinted separately (it has its own stable
+    digest that campaign journal headers already verify).
+    """
+    import hashlib
+    import json
+    from dataclasses import fields as dataclass_fields
+
+    payload = {
+        f.name: _primitive(getattr(config, f.name))
+        for f in dataclass_fields(config)
+        if f.name not in _PERSISTENCE_FIELDS
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
 
 
 @dataclass
@@ -280,6 +347,7 @@ class Study:
         self.config = config or StudyConfig()
         self._internet = internet
         self._results: Optional[StudyResults] = None
+        self._ledger: Optional[RunLedger] = None
 
     def run(self) -> StudyResults:
         """Run every stage; results are cached after the first call.
@@ -294,8 +362,12 @@ class Study:
         if self._results is not None:
             return self._results
         config = self.config
+        self._open_ledger()
         tracer = Tracer()
         with tracer.activate():
+            # A crash (or injected crash drill) anywhere in here leaves
+            # the ledger ``running`` and the run-directory lock in
+            # place — exactly the state ``--resume`` recovers from.
             results = self._run_stages(tracer)
         results.stage_timings = tracer.stage_timings()
         obs = get_obs()
@@ -317,6 +389,7 @@ class Study:
                     "selected_probes": len(results.selected_probes),
                     "active_experiments": config.active_experiments,
                     "resumed": config.resume,
+                    "run_dir": config.run_dir,
                     "shard_execution": (
                         results.shard_execution.as_dict()
                         if results.shard_execution is not None
@@ -324,13 +397,68 @@ class Study:
                     ),
                 },
             )
+        if self._ledger is not None:
+            self._ledger.finalize()
         self._results = results
         return results
+
+    def _open_ledger(self) -> None:
+        """Open the durable run ledger when ``config.run_dir`` is set.
+
+        The ledger locks the run directory, bumps the storage-fault
+        generation, and records (fresh) or verifies (resume) the
+        config and fault-plan fingerprints.
+        """
+        config = self.config
+        if config.run_dir is None or self._ledger is not None:
+            return
+        ledger = RunLedger(
+            config.run_dir,
+            durability=config.durability,
+            fault_plan=config.fault_plan,
+        )
+        fingerprints = {"config": study_fingerprint(config)}
+        if config.fault_plan is not None:
+            fingerprints["fault_plan"] = config.fault_plan.fingerprint()
+        ledger.open(fingerprints, resume=config.resume)
+        self._ledger = ledger
+
+    def _checkpoint_paths(self) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+        """(campaign, shards, active) checkpoint paths for this run —
+        the ledger's layout when a run directory is configured, the
+        individual path knobs otherwise."""
+        if self._ledger is not None:
+            return (
+                self._ledger.campaign_path,
+                self._ledger.shards_path,
+                self._ledger.active_path,
+            )
+        config = self.config
+        return (
+            config.checkpoint_path,
+            config.effective_shard_checkpoint(),
+            config.effective_active_checkpoint(),
+        )
+
+    def _storage(self) -> Optional[StoragePolicy]:
+        if self._ledger is not None:
+            return self._ledger.storage()
+        if self.config.durability is not None:
+            return StoragePolicy(
+                durability=self.config.durability,
+                fault_plan=self.config.fault_plan,
+            )
+        return None
 
     def _run_stages(self, tracer: Tracer) -> StudyResults:
         config = self.config
         seed = config.seed
         timer = tracer
+
+        campaign_checkpoint, shard_checkpoint, active_checkpoint = (
+            self._checkpoint_paths()
+        )
+        storage = self._storage()
 
         # Stage 1: the world and what inference sees of it.
         with timer.span("topology"):
@@ -340,6 +468,14 @@ class Study:
             )
             inferred = aggregate_snapshots(snapshots)
             siblings = infer_siblings(internet.whois, internet.soa)
+            if self._ledger is not None:
+                # Imported lazily (repro.perf.parallel imports from
+                # repro.core).  Recording the topology fingerprint lets
+                # resume refuse a run directory whose journals describe
+                # a different graph.
+                from repro.perf.parallel import _graph_fingerprint
+
+                self._ledger.record_graph(_graph_fingerprint(internet.graph))
 
         # Stage 2: testbed install (before the simulator is built, so
         # PEERING's links exist in the speakers' world).
@@ -367,8 +503,9 @@ class Study:
                 missing_hop_rate=config.missing_hop_rate,
                 fault_plan=config.fault_plan,
                 retry=config.retry_policy,
-                checkpoint_path=config.checkpoint_path,
+                checkpoint_path=campaign_checkpoint,
                 resume=config.resume,
+                storage=storage,
             )
             if campaign_config.wants_resilience():
                 dataset = run_resilient_campaign(internet, selected, campaign_config)
@@ -454,10 +591,11 @@ class Study:
             classifier_kwargs = dict(
                 fault_plan=config.fault_plan,
                 retry=config.retry_policy,
-                shard_checkpoint=config.effective_shard_checkpoint(),
+                shard_checkpoint=shard_checkpoint,
                 resume=config.resume,
                 shard_timeout_s=config.shard_timeout_s,
                 abort_after_shards=config.shard_abort_after,
+                storage=storage,
             )
             if config.pool_workers is not None:
                 classifier_kwargs["workers"] = config.pool_workers
@@ -716,19 +854,17 @@ class Study:
         targets = sorted(on_path - {testbed.asn})[: config.max_discovery_targets]
 
         # One supervisor spans both active phases: the breaker sees the
-        # control plane as a whole, and a single journal (the passive
-        # checkpoint path plus ".active") covers discovery and magnet
-        # rounds so `--resume` restores the whole active phase.
+        # control plane as a whole, and a single journal (the ledger's
+        # ``active.jsonl``, or the passive checkpoint path plus
+        # ``.active``) covers discovery and magnet rounds so
+        # ``--resume`` restores the whole active phase.
         supervisor = ActiveSupervisor(
             ActiveRunConfig(
                 fault_plan=config.fault_plan,
                 retry=config.retry_policy,
-                checkpoint_path=(
-                    config.checkpoint_path + ".active"
-                    if config.checkpoint_path
-                    else None
-                ),
+                checkpoint_path=self._checkpoint_paths()[2],
                 resume=config.resume,
+                storage=self._storage(),
             )
         )
         try:

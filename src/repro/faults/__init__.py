@@ -18,6 +18,13 @@ survive all of that:
   plane (see :mod:`repro.faults.supervisor`),
 * :class:`CheckpointJournal` — append-only JSONL checkpointing with
   torn-tail recovery for resumable campaigns,
+* :class:`StoragePolicy` / :func:`durable_append` /
+  :func:`atomic_replace` / :class:`RunLock` — the crash-consistent
+  storage primitives every persistent artifact is written through
+  (see :mod:`repro.faults.storage`),
+* :class:`RunLedger` — one run directory unifying the passive, active
+  and shard checkpoints behind ``repro study --run-dir`` (see
+  :mod:`repro.faults.ledger`),
 * :class:`SupervisedShardExecutor` / :class:`ShardJournal` —
   crash-tolerant process-pool fan-out with shard checkpointing and
   graceful degradation to serial execution (see
@@ -59,6 +66,7 @@ from repro.faults.errors import (
     WithdrawalLost,
 )
 from repro.faults.journal import CheckpointJournal, JournalCorrupted, pair_key
+from repro.faults.ledger import RunLedger
 from repro.faults.plan import FaultPlan, FaultSite, derive_seed
 from repro.faults.pool import (
     Shard,
@@ -68,6 +76,14 @@ from repro.faults.pool import (
 )
 from repro.faults.report import ActiveRobustnessReport, RobustnessReport
 from repro.faults.retry import RetryPolicy, RetryStats
+from repro.faults.storage import (
+    LockHeldError,
+    RunLock,
+    StoragePolicy,
+    atomic_replace,
+    durable_append,
+    write_text_atomic,
+)
 from repro.faults.supervisor import BreakerStats, CircuitBreaker, Watchdog
 
 __all__ = [
@@ -88,6 +104,7 @@ __all__ = [
     "FaultPlan",
     "FaultSite",
     "JournalCorrupted",
+    "LockHeldError",
     "LongPathRejected",
     "MalformedResultError",
     "MuxSessionReset",
@@ -103,14 +120,20 @@ __all__ = [
     "RetryStats",
     "RobustnessReport",
     "RouteFlapDamped",
+    "RunLedger",
+    "RunLock",
     "Shard",
     "ShardExecutionError",
     "ShardExecutionReport",
     "ShardJournal",
+    "StoragePolicy",
     "SupervisedShardExecutor",
     "Watchdog",
     "WatchdogExpired",
     "WithdrawalLost",
+    "atomic_replace",
     "derive_seed",
+    "durable_append",
     "pair_key",
+    "write_text_atomic",
 ]

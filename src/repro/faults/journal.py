@@ -5,17 +5,42 @@ quarantined or lost — is appended as one JSON line together with the
 credits it charged, so a resumed campaign can skip the pair *and*
 restore the ledger spend without double-charging.
 
-A crash can tear the trailing line (partial write).  ``load`` detects
-unparseable lines at the tail and drops them — the pair simply re-runs
-on resume — while corruption in the middle of the file (which a crash
-cannot produce on an append-only log) raises :class:`JournalCorrupted`.
+Writes go through the durable-storage layer
+(:mod:`repro.faults.storage`): each line is CRC32-framed and pushed to
+disk under the journal's :class:`~repro.faults.storage.StoragePolicy`,
+so a flipped byte is detected on load instead of being parsed into a
+wrong record.  Under the default ``fsync`` policy appends are
+group-committed — flushed per record, fsynced every
+``fsync_interval`` records and on close — bounding the data a power
+loss can take to one trailing batch.  Legacy unframed journals remain
+loadable.
+
+A crash can tear the trailing line (partial write, possibly without the
+terminating newline).  ``load`` detects the torn tail and drops it —
+the pair simply re-runs on resume — and ``open_append`` truncates the
+torn bytes before appending, so the next record starts on a clean line
+instead of gluing onto the fragment and corrupting the *interior* of
+the file.  Corruption before the tail (which a crash cannot produce on
+an append-only log) raises :class:`JournalCorrupted`.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from typing import IO, Dict, List, Optional, Tuple
+
+from repro.faults.errors import CampaignInterrupted
+from repro.faults.plan import FaultSite
+from repro.faults.storage import (
+    DURABILITY_FLUSH,
+    DURABILITY_FSYNC,
+    StoragePolicy,
+    decode_line,
+    durable_append,
+    frame_line,
+)
 
 JOURNAL_SCHEMA = 1
 
@@ -48,11 +73,20 @@ class CheckpointJournal:
     #: Keys every data record must carry.
     required_fields = ("probe", "name")
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, storage: Optional[StoragePolicy] = None) -> None:
         self.path = path
+        self.storage = storage or StoragePolicy()
         self._handle: Optional[IO[str]] = None
         #: Torn trailing lines dropped by the last ``load`` call.
         self.torn_lines = 0
+        #: Byte offset just past the last intact line seen by ``load``;
+        #: ``None`` until a load (or after an append) — ``open_append``
+        #: truncates the file here to shed a torn tail.
+        self._valid_bytes: Optional[int] = None
+        #: Records appended through this instance (fault-key ordinal).
+        self._appended = 0
+        #: Appends since the last fsync (group commit under ``fsync``).
+        self._unsynced = 0
 
     # ------------------------------------------------------------------
     # Reading
@@ -64,37 +98,65 @@ class CheckpointJournal:
         """Parse the journal into ``(header, pair records)``.
 
         Returns ``(None, [])`` when the file does not exist.  Torn
-        trailing lines are dropped (counted in ``torn_lines``); corrupt
-        interior lines raise :class:`JournalCorrupted`.
+        trailing lines — unparseable, failing their CRC frame, or
+        missing the terminating newline — are dropped (counted in
+        ``torn_lines``); corrupt interior lines raise
+        :class:`JournalCorrupted`.
         """
         self.torn_lines = 0
+        self._valid_bytes = 0
         if not self.exists():
             return None, []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-        parsed: List[Tuple[int, Optional[Dict]]] = []
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                document = json.loads(line)
-                if not isinstance(document, dict):
-                    document = None
-            except json.JSONDecodeError:
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        pieces = raw.split(b"\n")
+        if pieces and pieces[-1] == b"":
+            pieces.pop()
+            final_terminated = True
+        else:
+            final_terminated = not pieces
+        # (line number, parsed document or None, byte offset past the
+        # line).  A document of None marks an unusable line; blank lines
+        # parse to the {} sentinel and are skipped later.
+        parsed: List[Tuple[int, Optional[Dict], int]] = []
+        offset = 0
+        for index, piece in enumerate(pieces):
+            terminated = index < len(pieces) - 1 or final_terminated
+            offset += len(piece) + (1 if terminated else 0)
+            document: Optional[Dict]
+            text = piece.decode("utf-8", errors="replace")
+            if not text.strip():
+                document = {}
+            elif not terminated:
+                # No newline: the write was torn mid-line.  Even if the
+                # fragment happens to parse, it cannot be trusted.
                 document = None
-            parsed.append((number, document))
-        # Only a trailing run of unparseable lines is crash-consistent.
+            else:
+                payload, crc_ok = decode_line(text)
+                if crc_ok is False:
+                    document = None
+                else:
+                    try:
+                        document = json.loads(payload)
+                        if not isinstance(document, dict):
+                            document = None
+                    except json.JSONDecodeError:
+                        document = None
+            parsed.append((index + 1, document, offset))
+        # Only a trailing run of unusable lines is crash-consistent.
         while parsed and parsed[-1][1] is None:
             parsed.pop()
             self.torn_lines += 1
-        bad = [number for number, document in parsed if document is None]
+        bad = [number for number, document, _ in parsed if document is None]
         if bad:
             raise JournalCorrupted(
                 f"{self.path}: unparseable journal line(s) {bad} before the tail"
             )
+        self._valid_bytes = parsed[-1][2] if parsed else 0
         header: Optional[Dict] = None
         records: List[Dict] = []
-        for number, document in parsed:
+        for number, document, _ in parsed:
+            assert document is not None
             kind = document.get("kind")
             if kind == KIND_HEADER:
                 if header is None:
@@ -116,11 +178,33 @@ class CheckpointJournal:
     # Writing
     # ------------------------------------------------------------------
     def open_append(self) -> None:
-        if self._handle is None:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
+        if self._handle is not None:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._repair_tail()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn trailing line before appending.
+
+        Without this, the first append after a torn write glues onto
+        the partial line, turning a recoverable torn *tail* into an
+        interior corrupt line that poisons every future load.
+        """
+        if not self.exists():
+            return
+        if self._valid_bytes is None:
+            self.load()
+        assert self._valid_bytes is not None
+        size = os.path.getsize(self.path)
+        if self._valid_bytes >= size:
+            return
+        with open(self.path, "r+b") as handle:
+            handle.truncate(self._valid_bytes)
+            if self.storage.durability == DURABILITY_FSYNC:
+                os.fsync(handle.fileno())
 
     def write_header(self, header: Dict) -> None:
         record = dict(header)
@@ -137,11 +221,47 @@ class CheckpointJournal:
         if self._handle is None:
             self.open_append()
         assert self._handle is not None
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        line = frame_line(json.dumps(record, sort_keys=True))
+        ordinal = self._appended
+        basename = os.path.basename(self.path)
+        if self.storage.fires(FaultSite.STORAGE_ENOSPC, basename, ordinal):
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC appending to {self.path}"
+            )
+        if self.storage.fires(FaultSite.STORAGE_TORN_APPEND, basename, ordinal):
+            # A torn write: part of the line lands on disk, no newline,
+            # and the process dies.  ``load``/``open_append`` on resume
+            # must shed exactly this fragment.
+            fragment = line[: max(1, len(line) // 2)]
+            self._handle.write(fragment)
+            self._handle.flush()
+            self.close()
+            self._valid_bytes = None
+            raise CampaignInterrupted(
+                f"injected torn append to {self.path} at record {ordinal}"
+            )
+        if self.storage.durability == DURABILITY_FSYNC:
+            # Group commit: every append is flushed to the OS, but the
+            # disk sync is amortized over ``fsync_interval`` records
+            # (plus one on close).  A crash loses at most the trailing
+            # unsynced batch, which loads as a clean shorter prefix and
+            # simply re-runs on resume.
+            durable_append(self._handle, line + "\n", DURABILITY_FLUSH)
+            self._unsynced += 1
+            if self._unsynced >= self.storage.fsync_interval:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
+        else:
+            durable_append(self._handle, line + "\n", self.storage.durability)
+        self._appended += 1
+        self._valid_bytes = None
 
     def close(self) -> None:
         if self._handle is not None:
+            if self._unsynced and self.storage.durability == DURABILITY_FSYNC:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
             self._handle.close()
             self._handle = None
 

@@ -51,6 +51,13 @@ class FaultSite(str, Enum):
     POOL_WORKER_CRASH = "perf/pool:worker-crash"
     POOL_WORKER_HANG = "perf/pool:worker-hang"
     POOL_RESULT_CORRUPT = "perf/pool:result-corrupt"
+    # Filesystem sites (the durable-storage layer).  Keyed by
+    # (file basename, record ordinal, ledger generation) so a crash
+    # drill clears on the next resume instead of firing forever.
+    STORAGE_TORN_APPEND = "faults/storage:torn-append"
+    STORAGE_ENOSPC = "faults/storage:enospc"
+    STORAGE_RENAME_CRASH = "faults/storage:crash-before-rename"
+    STORAGE_STALE_LOCK = "faults/storage:stale-lock"
 
 
 _SITE_BY_VALUE = {site.value: site for site in FaultSite}

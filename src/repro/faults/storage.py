@@ -1,0 +1,331 @@
+"""Durable-storage primitives: crash-consistent writes for run state.
+
+Measurement campaigns run for days against rate-limited external
+infrastructure, so the on-disk run state (checkpoint journals, golden
+snapshots, run manifests) must survive the failure modes real
+filesystems produce: torn appends (partial line, no newline), ENOSPC
+mid-write, power loss between a write and its rename, and lockfiles
+abandoned by dead processes.  This module provides the primitives every
+persistent artifact in the repo is written through:
+
+* :func:`durable_append` — write + flush + fsync under a configurable
+  :data:`durability <DURABILITY_FSYNC>` policy,
+* :func:`frame_line` / :func:`decode_line` — per-record CRC32 framing
+  for journal lines, so a flipped byte is detected instead of silently
+  parsed into a wrong record,
+* :func:`atomic_replace` — temp file + fsync + ``os.replace`` +
+  directory fsync, so readers only ever see the old or the new content,
+* :class:`RunLock` — an advisory pidfile lock guarding a run directory
+  against concurrent writers, with stale-lock (dead owner) recovery,
+* :class:`StoragePolicy` — the bundle of durability knobs plus the
+  seeded :class:`~repro.faults.plan.FaultPlan` hooks that let the chaos
+  harness inject all four failure modes deterministically.
+
+Fault keys are salted with the run-ledger *generation* (bumped on every
+open of a run directory), so an injected crash point fires, the study
+dies, and the very same append succeeds on resume — the drill makes
+progress instead of crash-looping.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.faults.errors import CampaignInterrupted
+from repro.faults.plan import FaultPlan, FaultSite
+
+#: fsync before every rename and group-commit journal appends (fsync
+#: every :attr:`StoragePolicy.fsync_interval` records and on close) —
+#: the default.  A crash loses at most the trailing unsynced batch,
+#: which the torn-tail repair sheds and resume re-executes.
+DURABILITY_FSYNC = "fsync"
+#: flush to the OS but skip fsync (survives process crash, not power
+#: loss) — the pre-ledger behaviour, kept for benchmark baselines.
+DURABILITY_FLUSH = "flush"
+#: no flush at all; only for throwaway test runs.
+DURABILITY_NONE = "none"
+
+DURABILITY_POLICIES = (DURABILITY_FSYNC, DURABILITY_FLUSH, DURABILITY_NONE)
+
+#: Environment override for the process-wide default policy.
+DURABILITY_ENV = "REPRO_DURABILITY"
+
+_CRC_WIDTH = 8
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def default_durability() -> str:
+    """The process default: :data:`DURABILITY_ENV` or ``fsync``."""
+    policy = os.environ.get(DURABILITY_ENV, DURABILITY_FSYNC)
+    if policy not in DURABILITY_POLICIES:
+        raise ValueError(
+            f"{DURABILITY_ENV}={policy!r} is not one of {DURABILITY_POLICIES}"
+        )
+    return policy
+
+
+class LockHeldError(OSError):
+    """The run directory is locked by another live process."""
+
+
+@dataclass
+class StoragePolicy:
+    """Durability policy plus the fault-injection hooks for one run.
+
+    ``salt`` is folded into every storage fault key; the run ledger
+    sets it to the run-directory generation (bumped per open) so a
+    deterministic injected crash clears on the next resume instead of
+    firing at the same byte forever.
+    """
+
+    durability: str = field(default_factory=default_durability)
+    fault_plan: Optional[FaultPlan] = None
+    salt: int = 0
+    #: Group-commit width under ``fsync``: journal appends are flushed
+    #: every record but fsynced once per this many records (and on
+    #: close), keeping the durability window bounded without paying a
+    #: disk sync per pair.
+    fsync_interval: int = 128
+
+    def __post_init__(self) -> None:
+        if self.durability not in DURABILITY_POLICIES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_POLICIES}, "
+                f"got {self.durability!r}"
+            )
+        if self.fsync_interval < 1:
+            raise ValueError(
+                f"fsync_interval must be >= 1, got {self.fsync_interval}"
+            )
+
+    def fires(self, site: FaultSite, *key: Union[int, str]) -> bool:
+        plan = self.fault_plan
+        if plan is None:
+            return False
+        return plan.fires(site, *key, self.salt)
+
+    def roll(self, site: FaultSite, *key: Union[int, str]) -> float:
+        plan = self.fault_plan
+        if plan is None:
+            return 0.0
+        return plan.roll(site, *key, self.salt)
+
+
+# ----------------------------------------------------------------------
+# CRC32 line framing
+# ----------------------------------------------------------------------
+
+
+def frame_line(payload: str) -> str:
+    """Prefix ``payload`` with the CRC32 of its UTF-8 bytes.
+
+    Framed lines look like ``deadbeef {"kind": ...}``; legacy journals
+    (bare JSON lines) stay loadable because :func:`decode_line` treats
+    anything without a valid frame prefix as unframed.
+    """
+    checksum = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{checksum:0{_CRC_WIDTH}x} {payload}"
+
+
+def decode_line(line: str) -> Tuple[str, Optional[bool]]:
+    """Split a journal line into ``(payload, crc_ok)``.
+
+    ``crc_ok`` is ``True``/``False`` for framed lines and ``None`` for
+    legacy unframed lines (no checksum to verify).
+    """
+    if (
+        len(line) > _CRC_WIDTH
+        and line[_CRC_WIDTH] == " "
+        and all(ch in _HEX_DIGITS for ch in line[:_CRC_WIDTH])
+    ):
+        payload = line[_CRC_WIDTH + 1 :]
+        expected = int(line[:_CRC_WIDTH], 16)
+        actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        return payload, actual == expected
+    return line, None
+
+
+# ----------------------------------------------------------------------
+# Durable writes
+# ----------------------------------------------------------------------
+
+
+def durable_append(handle, text: str, durability: str = DURABILITY_FSYNC) -> None:
+    """Append ``text`` and push it as far down the stack as the policy
+    requires before returning."""
+    handle.write(text)
+    if durability == DURABILITY_NONE:
+        return
+    handle.flush()
+    if durability == DURABILITY_FSYNC:
+        os.fsync(handle.fileno())
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Silently skipped where directories cannot be opened for reading
+    (some platforms/filesystems); the rename itself is still atomic.
+    """
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_replace(
+    path: str,
+    data: str,
+    storage: Optional[StoragePolicy] = None,
+    *key: Union[int, str],
+) -> str:
+    """Atomically replace ``path`` with ``data``.
+
+    Writes to ``path + ".tmp"``, flushes and fsyncs it (per the
+    policy), renames it over ``path`` with ``os.replace``, then fsyncs
+    the directory.  A crash at any instant leaves either the complete
+    old file or the complete new file — never a torn mix.
+
+    When the policy's fault plan arms
+    :attr:`~repro.faults.plan.FaultSite.STORAGE_RENAME_CRASH` for this
+    ``key``, the function dies *between* the temp-file write and the
+    rename — the worst-case real crash point — leaving the temp file
+    behind and ``path`` untouched.
+    """
+    storage = storage or StoragePolicy()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(data)
+        if storage.durability != DURABILITY_NONE:
+            handle.flush()
+            if storage.durability == DURABILITY_FSYNC:
+                os.fsync(handle.fileno())
+    if storage.fires(FaultSite.STORAGE_RENAME_CRASH, os.path.basename(path), *key):
+        raise CampaignInterrupted(
+            f"injected crash between write and rename of {path}"
+        )
+    os.replace(tmp_path, path)
+    if storage.durability == DURABILITY_FSYNC:
+        fsync_directory(directory)
+    return path
+
+
+def write_text_atomic(path: str, data: str) -> str:
+    """:func:`atomic_replace` under the process-default policy.
+
+    The drop-in replacement for ``open(path, "w").write(data)`` used by
+    exporters (golden snapshots, run manifests) that have no run-scoped
+    policy of their own.
+    """
+    return atomic_replace(path, data, StoragePolicy())
+
+
+# ----------------------------------------------------------------------
+# Advisory run-directory lock
+# ----------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could conflict with."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except (OverflowError, OSError):
+        return False
+    return True
+
+
+def plant_stale_lock(path: str) -> None:
+    """Write a lockfile owned by a pid that cannot be alive.
+
+    Used by the stale-lock fault site (and tests) to simulate the lock
+    a crashed run leaves behind.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"pid": 2**30, "owner": "injected-stale"}))
+
+
+class RunLock:
+    """Advisory pidfile lock for one run directory.
+
+    Acquisition is ``O_CREAT | O_EXCL`` (atomic on POSIX).  A lockfile
+    whose recorded pid is dead — or is *this* process (a crashed phase
+    of the same run resuming in-process) — is stale and gets broken;
+    a lock held by another live process raises :class:`LockHeldError`.
+    The lock is advisory: it guards cooperating ``repro`` runs, not
+    arbitrary writers.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.held = False
+        #: Stale lockfiles broken while acquiring (dead or self pid).
+        self.stale_broken = 0
+
+    def acquire(self) -> "RunLock":
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = self._read_owner()
+                if owner is not None and owner != os.getpid() and _pid_alive(owner):
+                    raise LockHeldError(
+                        errno.EEXIST,
+                        f"run directory locked by live pid {owner}",
+                        self.path,
+                    )
+                # Dead owner, unreadable lockfile, or our own earlier
+                # (crashed-and-resumed-in-process) run: break and retry.
+                try:
+                    os.unlink(self.path)
+                except FileNotFoundError:
+                    pass
+                self.stale_broken += 1
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"pid": os.getpid()}))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.held = True
+            return self
+
+    def _read_owner(self) -> Optional[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return int(json.loads(handle.read()).get("pid", -1))
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "RunLock":
+        return self.acquire()
+
+    def __exit__(self, *_exc) -> None:
+        self.release()

@@ -265,12 +265,12 @@ def render_summary(manifest: RunManifest, top_metrics: int = 12) -> str:
 
 
 def write_jsonl(manifest: RunManifest, path: str) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_jsonl(manifest))
-    return path
+    from repro.faults.storage import write_text_atomic
+
+    return write_text_atomic(path, to_jsonl(manifest))
 
 
 def write_prometheus(manifest: RunManifest, path: str) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_prometheus(manifest))
-    return path
+    from repro.faults.storage import write_text_atomic
+
+    return write_text_atomic(path, to_prometheus(manifest))

@@ -169,9 +169,13 @@ class RunManifest:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> str:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
-        return path
+        # Atomic so a crash mid-save cannot leave a torn manifest that
+        # poisons later tooling.  Imported lazily: the faults package
+        # publishes through repro.obs, so the reverse module-level
+        # import would be a cycle hazard.
+        from repro.faults.storage import write_text_atomic
+
+        return write_text_atomic(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str) -> "RunManifest":

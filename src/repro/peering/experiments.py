@@ -57,6 +57,7 @@ from repro.faults import (
     RetryExhausted,
     RetryPolicy,
     RouteFlapDamped,
+    StoragePolicy,
     Watchdog,
     WatchdogExpired,
     pair_key,
@@ -108,9 +109,14 @@ class ActiveRunConfig:
     resume: bool = False
     #: Crash drill: kill the run after N newly finalized units.
     abort_after: Optional[int] = None
+    #: Durability/fault policy for the checkpoint journal.
+    storage: Optional[StoragePolicy] = None
 
     def wants_resilience(self) -> bool:
         return self.fault_plan is not None or self.checkpoint_path is not None
+
+    def journal_storage(self) -> StoragePolicy:
+        return self.storage or StoragePolicy(fault_plan=self.fault_plan)
 
 
 class ActiveSupervisor:
@@ -148,7 +154,9 @@ class ActiveSupervisor:
     def _open_journal(self) -> None:
         if self.config.checkpoint_path is None:
             return
-        journal = CheckpointJournal(self.config.checkpoint_path)
+        journal = CheckpointJournal(
+            self.config.checkpoint_path, storage=self.config.journal_storage()
+        )
         if self.config.resume and journal.exists():
             header, records = journal.load()
             expected = self._header()

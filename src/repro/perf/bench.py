@@ -388,6 +388,115 @@ def pool_supervision_overhead(
     }
 
 
+def ledger_durability_overhead(
+    study: StudyResults, repeats: int = 3
+) -> Dict[str, object]:
+    """Cost of full durability (per-append fsync) on a journaled campaign.
+
+    Two measurements compose the overhead figure.  First, two full
+    resilient-campaign legs journal every pair to a throwaway run
+    directory under ``durability=none`` and ``durability=fsync`` (the
+    ledger default: per-record flush, group-committed fsync every
+    ``fsync_interval`` records and on close) — these prove the outputs
+    identical and time the campaign baseline.  Second, the exact
+    record stream the campaign journaled is replayed through fresh
+    journals under both policies, timing just the appends; the replay
+    delta is the I/O the durability policy actually adds.  The
+    reported ``overhead_pct`` is that delta relative to the campaign
+    baseline — campaign wall time on a loaded CI box jitters by more
+    than the whole durability cost, so timing the added I/O directly
+    is the only way the <5% gate measures policy, not scheduler noise.
+    """
+    import shutil
+    import tempfile
+
+    from repro.atlas.campaign import CampaignConfig, run_resilient_campaign
+    from repro.faults import CheckpointJournal, FaultPlan
+    from repro.faults.storage import (
+        DURABILITY_FSYNC,
+        DURABILITY_NONE,
+        StoragePolicy,
+    )
+
+    internet = study.internet
+    probes = study.selected_probes
+    # The pipeline's campaign stage uses seed + 5 (see Study.run).
+    campaign_seed = study.config.seed + 5
+
+    def run_leg(durability: str):
+        tmp = tempfile.mkdtemp(prefix="bench-ledger-")
+        try:
+            path = os.path.join(tmp, "campaign.jsonl")
+            start = time.perf_counter()
+            dataset = run_resilient_campaign(
+                internet,
+                probes,
+                CampaignConfig(
+                    seed=campaign_seed,
+                    missing_hop_rate=study.config.missing_hop_rate,
+                    fault_plan=FaultPlan.none(seed=campaign_seed),
+                    checkpoint_path=path,
+                    storage=StoragePolicy(durability=durability),
+                ),
+            )
+            elapsed = time.perf_counter() - start
+            _header, records = CheckpointJournal(path).load()
+            return elapsed, dataset, records
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def replay(records, durability: str) -> float:
+        tmp = tempfile.mkdtemp(prefix="bench-ledger-")
+        try:
+            journal = CheckpointJournal(
+                os.path.join(tmp, "campaign.jsonl"),
+                storage=StoragePolicy(durability=durability),
+            )
+            start = time.perf_counter()
+            with journal:
+                for record in records:
+                    journal.append(record)
+            return time.perf_counter() - start
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    campaign_s = float("inf")
+    none_dataset = fsync_dataset = None
+    records: list = []
+    for _ in range(max(repeats, 3)):
+        elapsed, none_dataset, records = run_leg(DURABILITY_NONE)
+        campaign_s = min(campaign_s, elapsed)
+        elapsed, fsync_dataset, _records = run_leg(DURABILITY_FSYNC)
+        campaign_s = min(campaign_s, elapsed)
+    assert none_dataset is not None and fsync_dataset is not None
+    from repro.atlas import dump_measurements
+
+    identical = dump_measurements(none_dataset.measurements) == dump_measurements(
+        fsync_dataset.measurements
+    )
+
+    append_none_s = append_fsync_s = float("inf")
+    for _ in range(max(repeats, 5)):
+        append_none_s = min(append_none_s, replay(records, DURABILITY_NONE))
+        append_fsync_s = min(append_fsync_s, replay(records, DURABILITY_FSYNC))
+    added_s = max(0.0, append_fsync_s - append_none_s)
+
+    pairs = none_dataset.robustness.total_pairs if none_dataset.robustness else 0
+    overhead = (
+        round(added_s / campaign_s * 100.0, 2) if campaign_s else None
+    )
+    return {
+        "fault_plan": None,
+        "journaled_pairs": pairs,
+        "campaign_seconds": round(campaign_s, 6),
+        "append_none_seconds": round(append_none_s, 6),
+        "append_fsync_seconds": round(append_fsync_s, 6),
+        "added_seconds": round(added_s, 6),
+        "overhead_pct": overhead,
+        "results_identical": identical,
+    }
+
+
 def telemetry_overhead(
     study: StudyResults,
     workers: Optional[int] = None,
@@ -496,6 +605,7 @@ def run_benchmark(
         ),
         "active_robustness": active_robustness_overhead(study, repeats=repeats),
         "pool_supervision": pool_supervision_overhead(study, repeats=repeats),
+        "ledger": ledger_durability_overhead(study, repeats=repeats),
         "telemetry_overhead": telemetry_overhead(
             study, workers=workers, repeats=repeats
         ),
@@ -552,14 +662,15 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "obs", "hotpath", "pool"),
+        choices=("all", "obs", "hotpath", "pool", "ledger"),
         default="all",
         help="'obs' measures and merges only the telemetry_overhead "
         "section; 'hotpath' runs both route-tree backends and refreshes "
         "the hotpath, classification and cache sections; 'pool' "
         "measures supervised vs raw pool dispatch and refreshes the "
-        "pool_supervision section; other recorded sections stay "
-        "untouched",
+        "pool_supervision section; 'ledger' measures journal fsync "
+        "durability overhead and refreshes the ledger section; other "
+        "recorded sections stay untouched",
     )
     parser.add_argument(
         "--check-obs-overhead",
@@ -584,6 +695,14 @@ def main(argv: Optional[list] = None) -> int:
         metavar="PCT",
         help="exit nonzero if supervised pool dispatch costs more than "
         "PCT percent over the raw pool on a zero-fault run",
+    )
+    parser.add_argument(
+        "--check-ledger-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero if fsync durability costs more than PCT "
+        "percent over a non-durable journal on the same campaign",
     )
     parser.add_argument(
         "--json",
@@ -680,6 +799,31 @@ def main(argv: Optional[list] = None) -> int:
             failed = 1
         return failed
 
+    def check_ledger_gate(ledger: Dict[str, object]) -> int:
+        overhead = ledger["overhead_pct"]
+        label = "n/a" if overhead is None else f"{overhead:+.1f}%"
+        say(
+            f"ledger durability (fsync vs none): appends "
+            f"{ledger['append_none_seconds']:.4f}s -> "
+            f"{ledger['append_fsync_seconds']:.4f}s, "
+            f"+{ledger['added_seconds']:.4f}s on a "
+            f"{ledger['campaign_seconds']:.3f}s campaign ({label}, "
+            f"{ledger['journaled_pairs']} journaled pairs)"
+        )
+        failed = 0
+        if not ledger["results_identical"]:
+            say("FAIL: fsync-durable campaign disagrees with the baseline")
+            failed = 1
+        if args.check_ledger_overhead is not None and (
+            overhead is None or overhead > args.check_ledger_overhead
+        ):
+            say(
+                f"FAIL: durability overhead {overhead}% exceeds "
+                f"{args.check_ledger_overhead}% budget"
+            )
+            failed = 1
+        return failed
+
     def finish(written: Dict[str, object], path: str, failed: int) -> int:
         say(f"wrote {path}")
         if args.json:
@@ -691,6 +835,12 @@ def main(argv: Optional[list] = None) -> int:
         written = {"pool_supervision": pool}
         path = write_bench_file(written, args.out)
         return finish(written, path, check_pool_gate(pool))
+
+    if args.section == "ledger":
+        ledger = ledger_durability_overhead(study, repeats=args.repeats)
+        written = {"ledger": ledger}
+        path = write_bench_file(written, args.out)
+        return finish(written, path, check_ledger_gate(ledger))
 
     if args.section == "obs":
         telemetry = telemetry_overhead(
@@ -794,6 +944,7 @@ def main(argv: Optional[list] = None) -> int:
         f"{active['magnet_rounds']} magnet rounds)"
     )
     failed |= check_pool_gate(payload["pool_supervision"])
+    failed |= check_ledger_gate(payload["ledger"])
     failed |= check_gate(payload["telemetry_overhead"])
     if not cls["results_identical"]:
         failed = 1

@@ -56,6 +56,7 @@ from repro.faults.pool import (
     SupervisedShardExecutor,
 )
 from repro.faults.retry import RetryPolicy
+from repro.faults.storage import StoragePolicy
 from repro.faults.supervisor import CircuitBreaker
 from repro.obs.context import get_obs
 from repro.obs.metrics import MetricsRegistry
@@ -307,6 +308,7 @@ class ParallelClassifier:
         hang_sleep_s: float = DEFAULT_HANG_SLEEP_S,
         abort_after_shards: Optional[int] = None,
         supervised: bool = True,
+        storage: Optional[StoragePolicy] = None,
     ) -> None:
         if workers is None:
             workers = min(worker_count(), os.cpu_count() or 1)
@@ -317,6 +319,8 @@ class ParallelClassifier:
         self.retry = retry
         self.shard_checkpoint = shard_checkpoint
         self.resume = resume
+        #: Durability/fault policy the shard journal is written under.
+        self.storage = storage
         self.shard_timeout_s = (
             DEFAULT_SHARD_TIMEOUT_S if shard_timeout_s is None else shard_timeout_s
         )
@@ -539,7 +543,10 @@ class ParallelClassifier:
                 if os.path.exists(self.shard_checkpoint):
                     os.remove(self.shard_checkpoint)
             self._journal_cleared = True
-            journal = ShardJournal(self.shard_checkpoint)
+            journal = ShardJournal(
+                self.shard_checkpoint,
+                storage=self.storage or StoragePolicy(fault_plan=self.fault_plan),
+            )
 
         executor = SupervisedShardExecutor(
             _pool_build,

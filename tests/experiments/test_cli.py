@@ -39,3 +39,53 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["study", "--experiment", "nope"])
+
+    def test_bare_resume_parses_as_true(self):
+        args = build_parser().parse_args(["study", "--run-dir", "d", "--resume"])
+        assert args.resume is True
+
+    def test_resume_with_file_parses_as_path(self):
+        args = build_parser().parse_args(["study", "--resume", "c.jsonl"])
+        assert args.resume == "c.jsonl"
+
+
+class TestStudyFlagConflicts:
+    """Persistence flags fail loudly instead of silently ignoring one."""
+
+    def _err(self, capsys, argv):
+        assert main(argv) == 2
+        return capsys.readouterr().err
+
+    def test_checkpoint_plus_resume_rejected(self, capsys):
+        # Regression: --checkpoint used to be silently ignored whenever
+        # --resume FILE was also given.
+        err = self._err(
+            capsys,
+            ["study", "--small", "--checkpoint", "a.jsonl", "--resume", "b.jsonl"],
+        )
+        assert "mutually exclusive" in err
+
+    def test_bare_resume_without_run_dir_rejected(self, capsys):
+        err = self._err(capsys, ["study", "--small", "--resume"])
+        assert "--run-dir" in err
+
+    def test_run_dir_plus_checkpoint_rejected(self, capsys):
+        err = self._err(
+            capsys,
+            ["study", "--small", "--run-dir", "d", "--checkpoint", "a.jsonl"],
+        )
+        assert "mutually exclusive" in err
+
+    def test_run_dir_plus_shard_checkpoint_rejected(self, capsys):
+        err = self._err(
+            capsys,
+            ["study", "--small", "--run-dir", "d", "--shard-checkpoint", "s.jsonl"],
+        )
+        assert "mutually exclusive" in err
+
+    def test_run_dir_plus_resume_file_rejected(self, capsys):
+        err = self._err(
+            capsys,
+            ["study", "--small", "--run-dir", "d", "--resume", "b.jsonl"],
+        )
+        assert "bare --resume" in err

@@ -79,6 +79,50 @@ class TestTornLines:
         with pytest.raises(JournalCorrupted):
             CheckpointJournal(path).load()
 
+    def test_torn_tail_truncated_before_append(self, tmp_path):
+        """Regression: reopening a torn journal for append used to leave
+        the partial line in place, so the next append glued onto it and
+        produced an unparseable *interior* line on the following load."""
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"probe": 1, "name": "b", "stat')  # torn write
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "c"))
+        journal = CheckpointJournal(path)
+        _header, records = journal.load()  # must not raise JournalCorrupted
+        assert [pair_key(r) for r in records] == [(1, "a"), (1, "c")]
+        assert journal.torn_lines == 0  # the tear was repaired, not kept
+
+    def test_torn_tail_physically_removed(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+        clean_size = len(open(path, "rb").read())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage with no newline")
+        journal = CheckpointJournal(path)
+        journal.open_append()  # repair happens on reopen
+        journal.close()
+        assert len(open(path, "rb").read()) == clean_size
+
+    def test_unterminated_final_line_treated_as_torn(self, tmp_path):
+        # Even a line that *parses* is torn if it lacks its newline: the
+        # write may have stopped mid-payload at a point that happens to
+        # be valid JSON.  Only a terminated line is trusted.
+        path = str(tmp_path / "campaign.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.append(_record(1, "a"))
+        with open(path, "rb+") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            handle.truncate(size - 1)  # strip the trailing newline
+        journal = CheckpointJournal(path)
+        _header, records = journal.load()
+        assert records == []
+        assert journal.torn_lines == 1
+
     def test_pair_record_without_key_raises(self, tmp_path):
         path = str(tmp_path / "campaign.jsonl")
         with open(path, "w", encoding="utf-8") as handle:

@@ -31,6 +31,7 @@ from repro.faults import (
     ShardJournal,
     SupervisedShardExecutor,
 )
+from repro.faults.storage import decode_line
 from repro.net.ip import Prefix
 from repro.perf.parallel import ParallelClassifier
 
@@ -232,8 +233,9 @@ class TestShardJournal:
     def test_invalid_payload_recomputed_not_trusted(self, tmp_path):
         path = self._journaled_run(str(tmp_path / "run.shards"))
         lines = open(path, encoding="utf-8").read().splitlines()
-        record = json.loads(lines[1])
+        record = json.loads(decode_line(lines[1])[0])
         record["payload"] = "!!! not base64 pickle !!!"
+        # Written unframed (legacy format) — loaders accept both.
         lines[1] = json.dumps(record, sort_keys=True)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,459 @@
+"""Tests for the durable-storage primitives and the run ledger.
+
+Covers the CRC32 line framing, durability policies, atomic replace,
+the advisory run lock, the four injected filesystem fault sites, and
+the fuzz property the journal recovery rests on: a journal truncated
+at *any* byte offset loads as a strict prefix of the true records (or
+raises ``JournalCorrupted``) — never as wrong records.
+"""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.faults import CheckpointJournal, JournalCorrupted
+from repro.faults.errors import CampaignInterrupted
+from repro.faults.ledger import (
+    STATUS_COMPLETED,
+    STATUS_RUNNING,
+    RunLedger,
+)
+from repro.faults.plan import FaultPlan, FaultSite
+from repro.faults.storage import (
+    DURABILITY_FLUSH,
+    DURABILITY_FSYNC,
+    DURABILITY_NONE,
+    LockHeldError,
+    RunLock,
+    StoragePolicy,
+    atomic_replace,
+    decode_line,
+    default_durability,
+    durable_append,
+    frame_line,
+    plant_stale_lock,
+    write_text_atomic,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def _plan(site, rate=1.0, seed=7):
+    return FaultPlan(seed=seed, rates={site: rate})
+
+
+# ----------------------------------------------------------------------
+# CRC32 framing
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = json.dumps({"kind": "pair", "probe": 3})
+        line = frame_line(payload)
+        decoded, crc_ok = decode_line(line)
+        assert decoded == payload
+        assert crc_ok is True
+
+    def test_legacy_line_passes_through(self):
+        payload = '{"kind": "pair", "probe": 3}'
+        decoded, crc_ok = decode_line(payload)
+        assert decoded == payload
+        assert crc_ok is None
+
+    def test_every_single_byte_flip_detected(self):
+        payload = json.dumps({"kind": "pair", "probe": 3, "name": "a.example"})
+        line = frame_line(payload)
+        for index in range(len(line)):
+            mutated = line[:index] + chr(ord(line[index]) ^ 0x01) + line[index + 1 :]
+            decoded, crc_ok = decode_line(mutated)
+            # Either the frame no longer parses (crc_ok None, payload is
+            # the raw mutated line — not valid JSON of the original) or
+            # the checksum flags it.  It must never verify.
+            if crc_ok is None:
+                assert decoded != payload
+            else:
+                assert crc_ok is False
+
+    def test_empty_payload(self):
+        line = frame_line("")
+        decoded, crc_ok = decode_line(line)
+        assert decoded == ""
+        assert crc_ok is True
+
+
+# ----------------------------------------------------------------------
+# Durable writes
+# ----------------------------------------------------------------------
+
+
+class TestDurableAppend:
+    @pytest.mark.parametrize(
+        "durability", [DURABILITY_FSYNC, DURABILITY_FLUSH, DURABILITY_NONE]
+    )
+    def test_appends_under_every_policy(self, tmp_path, durability):
+        path = str(tmp_path / "log.txt")
+        with open(path, "a", encoding="utf-8") as handle:
+            durable_append(handle, "one\n", durability)
+            durable_append(handle, "two\n", durability)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "one\ntwo\n"
+
+    def test_default_durability_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABILITY", "flush")
+        assert default_durability() == DURABILITY_FLUSH
+
+    def test_default_durability_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABILITY", "lazy")
+        with pytest.raises(ValueError):
+            default_durability()
+
+    def test_policy_rejects_unknown_durability(self):
+        with pytest.raises(ValueError):
+            StoragePolicy(durability="eventually")
+
+
+class TestAtomicReplace:
+    def test_creates_and_replaces(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_replace(path, "old\n")
+        atomic_replace(path, "new\n")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "new\n"
+        assert not os.path.exists(path + ".tmp")
+
+    def test_creates_missing_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "doc.json")
+        write_text_atomic(path, "data\n")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "data\n"
+
+    def test_injected_crash_leaves_target_intact(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_replace(path, "old\n")
+        storage = StoragePolicy(
+            durability=DURABILITY_FLUSH,
+            fault_plan=_plan(FaultSite.STORAGE_RENAME_CRASH),
+        )
+        with pytest.raises(CampaignInterrupted):
+            atomic_replace(path, "new\n", storage, 1)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "old\n"  # old content survives
+        assert os.path.exists(path + ".tmp")  # the crash leaves the temp
+
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        storage = StoragePolicy(
+            durability=DURABILITY_FLUSH,
+            fault_plan=_plan(FaultSite.STORAGE_RENAME_CRASH),
+        )
+        with pytest.raises(CampaignInterrupted):
+            atomic_replace(path, "v1\n", storage, 1)
+        # A different salt (next ledger generation) re-rolls the site.
+        retried = StoragePolicy(
+            durability=DURABILITY_FLUSH,
+            fault_plan=FaultPlan(seed=7, rates={}),
+        )
+        atomic_replace(path, "v1\n", retried, 1)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "v1\n"
+
+
+class TestStoragePolicySalt:
+    def test_salt_changes_fault_decisions(self):
+        plan = _plan(FaultSite.STORAGE_TORN_APPEND, rate=0.5)
+        decisions = set()
+        for salt in range(8):
+            policy = StoragePolicy(
+                durability=DURABILITY_NONE, fault_plan=plan, salt=salt
+            )
+            decisions.add(
+                tuple(
+                    policy.fires(FaultSite.STORAGE_TORN_APPEND, "campaign.jsonl", n)
+                    for n in range(16)
+                )
+            )
+        # Different generations must not replay the same crash schedule.
+        assert len(decisions) > 1
+
+    def test_no_plan_never_fires(self):
+        policy = StoragePolicy(durability=DURABILITY_NONE)
+        assert policy.fires(FaultSite.STORAGE_ENOSPC, "x", 0) is False
+        assert policy.roll(FaultSite.STORAGE_ENOSPC, "x", 0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Run lock
+# ----------------------------------------------------------------------
+
+
+class TestRunLock:
+    def test_acquire_release(self, tmp_path):
+        path = str(tmp_path / ".lock")
+        with RunLock(path) as lock:
+            assert lock.held
+            assert os.path.exists(path)
+            with open(path, encoding="utf-8") as handle:
+                assert json.load(handle)["pid"] == os.getpid()
+        assert not os.path.exists(path)
+
+    def test_live_foreign_pid_refused(self, tmp_path):
+        path = str(tmp_path / ".lock")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"pid": 1}))  # init: alive, not us
+        with pytest.raises(LockHeldError):
+            RunLock(path).acquire()
+
+    def test_stale_dead_pid_broken(self, tmp_path):
+        path = str(tmp_path / ".lock")
+        plant_stale_lock(path)
+        lock = RunLock(path).acquire()
+        assert lock.held
+        assert lock.stale_broken == 1
+        lock.release()
+
+    def test_own_pid_broken(self, tmp_path):
+        # A run that crashed and resumed inside the same process must be
+        # able to re-enter its own directory.
+        path = str(tmp_path / ".lock")
+        first = RunLock(path).acquire()
+        second = RunLock(path).acquire()
+        assert second.stale_broken == 1
+        second.release()
+        first.release()
+
+    def test_unreadable_lockfile_broken(self, tmp_path):
+        path = str(tmp_path / ".lock")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        lock = RunLock(path).acquire()
+        assert lock.stale_broken == 1
+        lock.release()
+
+
+# ----------------------------------------------------------------------
+# Injected journal faults
+# ----------------------------------------------------------------------
+
+
+def _pair(probe, name):
+    return {"probe": probe, "name": name, "status": "completed", "charged": 70}
+
+
+def _journal(path, site=None, rate=1.0):
+    plan = None if site is None else _plan(site, rate)
+    storage = StoragePolicy(durability=DURABILITY_FLUSH, fault_plan=plan)
+    return CheckpointJournal(path, storage=storage)
+
+
+class TestInjectedJournalFaults:
+    def test_enospc_raises_oserror(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with pytest.raises(OSError) as excinfo:
+            with _journal(path, FaultSite.STORAGE_ENOSPC) as journal:
+                journal.append(_pair(1, "a"))
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_torn_append_recoverable(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with pytest.raises(CampaignInterrupted):
+            with _journal(path, FaultSite.STORAGE_TORN_APPEND) as journal:
+                journal.append(_pair(1, "a"))
+        # The injected tear left a partial line with no newline; a
+        # clean journal must load it as zero records, then repair it.
+        torn = CheckpointJournal(path)
+        _header, records = torn.load()
+        assert records == []
+        assert torn.torn_lines == 1
+        with CheckpointJournal(path) as journal:
+            journal.append(_pair(1, "a"))
+        _header, records = CheckpointJournal(path).load()
+        assert [(r["probe"], r["name"]) for r in records] == [(1, "a")]
+
+    def test_zero_rate_never_fires(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with _journal(path, FaultSite.STORAGE_ENOSPC, rate=0.0) as journal:
+            for n in range(20):
+                journal.append(_pair(n, "x"))
+        _header, records = CheckpointJournal(path).load()
+        assert len(records) == 20
+
+
+# ----------------------------------------------------------------------
+# Truncation / corruption fuzz (the recovery property)
+# ----------------------------------------------------------------------
+
+
+def _build_journal(path, n_records=6):
+    with CheckpointJournal(path) as journal:
+        journal.write_header({"campaign_seed": 3, "plan_fingerprint": "fp"})
+        for n in range(n_records):
+            journal.append(_pair(n, f"name-{n}.example"))
+    header, records = CheckpointJournal(path).load()
+    assert len(records) == n_records
+    return header, records
+
+
+class TestTruncationFuzz:
+    def test_truncate_at_every_byte_offset(self, tmp_path):
+        """A journal cut at *any* byte loads as a prefix — never junk."""
+        path = str(tmp_path / "campaign.jsonl")
+        full_header, full_records = _build_journal(path)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        for cut in range(len(raw) + 1):
+            truncated = str(tmp_path / "cut.jsonl")
+            with open(truncated, "wb") as handle:
+                handle.write(raw[:cut])
+            header, records = CheckpointJournal(truncated).load()
+            # Strict prefix property: every surviving record is the
+            # true record at its position.  No invented or reordered
+            # records, ever.
+            assert records == full_records[: len(records)]
+            assert header is None or header == full_header
+
+    def test_truncated_tail_repairs_on_append(self, tmp_path):
+        """After any truncation, open_append + append yields a journal
+        that loads cleanly (no interior corruption left behind)."""
+        path = str(tmp_path / "campaign.jsonl")
+        _full_header, full_records = _build_journal(path, n_records=4)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        # Sample offsets: every 7th byte plus the exact line boundaries.
+        offsets = set(range(0, len(raw) + 1, 7)) | {0, len(raw)}
+        for cut in sorted(offsets):
+            truncated = str(tmp_path / f"cut-{cut}.jsonl")
+            with open(truncated, "wb") as handle:
+                handle.write(raw[:cut])
+            with CheckpointJournal(truncated) as journal:
+                journal.append(_pair(99, "appended.example"))
+            _header, records = CheckpointJournal(truncated).load()
+            assert records[:-1] == full_records[: len(records) - 1]
+            assert (records[-1]["probe"], records[-1]["name"]) == (
+                99,
+                "appended.example",
+            )
+
+    def test_interior_byte_flips_detected(self, tmp_path):
+        """Flipping any single byte never yields a wrong record."""
+        path = str(tmp_path / "campaign.jsonl")
+        _full_header, full_records = _build_journal(path, n_records=4)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        true_keys = {(r["probe"], r["name"]) for r in full_records}
+        for index in range(len(raw)):
+            mutated_path = str(tmp_path / "flip.jsonl")
+            mutated = bytearray(raw)
+            mutated[index] ^= 0x01
+            with open(mutated_path, "wb") as handle:
+                handle.write(bytes(mutated))
+            try:
+                _header, records = CheckpointJournal(mutated_path).load()
+            except JournalCorrupted:
+                continue  # detected: interior line refused
+            for record in records:
+                assert (record["probe"], record["name"]) in true_keys
+
+
+# ----------------------------------------------------------------------
+# Run ledger
+# ----------------------------------------------------------------------
+
+
+class TestRunLedger:
+    def test_fresh_open_records_fingerprints(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        ledger.open({"config": "abc123"})
+        ledger.record_graph("g-777")
+        ledger.finalize()
+        document = RunLedger.read(run_dir)
+        assert document["status"] == STATUS_COMPLETED
+        assert document["fingerprints"] == {"config": "abc123", "graph": "g-777"}
+        assert document["runs"] == 1
+        assert document["generation"] == 1
+        assert not os.path.exists(ledger.lock_path)
+
+    def test_resume_bumps_generation_and_runs(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        first = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        first.open({"config": "abc123"})
+        first.close()  # crash: no finalize — ledger stays "running"
+        assert RunLedger.read(run_dir)["status"] == STATUS_RUNNING
+        second = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        second.open({"config": "abc123"}, resume=True)
+        assert second.generation == 2
+        assert second.runs == 2
+        second.finalize()
+
+    def test_open_without_resume_refused(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        ledger.open({"config": "abc123"})
+        ledger.finalize()
+        with pytest.raises(ValueError, match="--resume"):
+            RunLedger(run_dir, durability=DURABILITY_FLUSH).open({"config": "abc123"})
+        # The failed open must not leave the directory locked.
+        assert not os.path.exists(ledger.lock_path)
+
+    def test_resume_fingerprint_mismatch_refused(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        ledger.open({"config": "abc123"})
+        ledger.finalize()
+        with pytest.raises(ValueError, match="different study configuration"):
+            RunLedger(run_dir, durability=DURABILITY_FLUSH).open(
+                {"config": "OTHER"}, resume=True
+            )
+
+    def test_resume_keeps_recorded_graph_fingerprint(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        first = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        first.open({"config": "abc123"})
+        first.record_graph("g-777")
+        first.close()
+        second = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        second.open({"config": "abc123"}, resume=True)
+        with pytest.raises(ValueError, match="refusing to mix runs"):
+            second.record_graph("g-DIFFERENT")
+        second.record_graph("g-777")  # matching fingerprint is fine
+        second.finalize()
+
+    def test_graph_mismatch_refused_same_run(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        ledger.open({})
+        ledger.record_graph("g-1")
+        with pytest.raises(ValueError):
+            ledger.record_graph("g-2")
+        ledger.close()
+
+    def test_stale_lock_injection_broken_on_open(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        plan = _plan(FaultSite.STORAGE_STALE_LOCK)
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH, fault_plan=plan)
+        ledger.open({"config": "abc123"})  # must break the planted lock
+        assert ledger._lock is not None and ledger._lock.stale_broken >= 1
+        ledger.finalize()
+
+    def test_live_foreign_lock_refused(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        with open(ledger.lock_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"pid": 1}))
+        with pytest.raises(LockHeldError):
+            ledger.open({})
+
+    def test_storage_salted_by_generation(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        ledger = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        ledger.open({})
+        assert ledger.storage().salt == 1
+        ledger.close()
+        resumed = RunLedger(run_dir, durability=DURABILITY_FLUSH)
+        resumed.open({}, resume=True)
+        assert resumed.storage().salt == 2
+        resumed.finalize()
