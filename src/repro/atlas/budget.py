@@ -10,6 +10,7 @@ rather than by measurement count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -38,6 +39,20 @@ class CreditLedger:
     def __post_init__(self) -> None:
         if self.daily_budget < 0:
             raise ValueError("budget must be non-negative")
+        # charge() is check-then-act; concurrent spenders (the serve
+        # daemon charges one ledger per tenant from many request
+        # threads) must not be able to overdraw between the check and
+        # the debit.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def cost_of(self, measurement_type: str, count: int = 1) -> int:
         try:
@@ -54,15 +69,21 @@ class CreditLedger:
         return self.cost_of(measurement_type, count) <= self.remaining
 
     def charge(self, measurement_type: str, count: int = 1) -> int:
-        """Debit the ledger; raises :class:`BudgetExceeded` if short."""
+        """Debit the ledger; raises :class:`BudgetExceeded` if short.
+
+        Atomic under concurrent spenders: the affordability check and
+        the debit happen under one lock, so the ledger can never be
+        driven past ``daily_budget`` by interleaved charges.
+        """
         cost = self.cost_of(measurement_type, count)
-        if cost > self.remaining:
-            raise BudgetExceeded(
-                f"{measurement_type} x{count} costs {cost}, "
-                f"only {self.remaining} credits left"
-            )
-        self.spent += cost
-        self.history.append((measurement_type, count))
+        with self._lock:
+            if cost > self.remaining:
+                raise BudgetExceeded(
+                    f"{measurement_type} x{count} costs {cost}, "
+                    f"only {self.remaining} credits left"
+                )
+            self.spent += cost
+            self.history.append((measurement_type, count))
         return cost
 
     def max_affordable(self, measurement_type: str) -> int:

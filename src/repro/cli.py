@@ -45,11 +45,27 @@ Usage::
         Run the pipeline benchmark (forwards to repro.perf.bench):
         `repro perf bench --quick --section hotpath --json` compares
         the dict and array backends and asserts identical results.
+
+    repro serve [--host H] [--port P] [--workers N] [--max-queue N]
+          [--tenant-budget CREDITS | --unmetered] [--run-dir DIR]
+        Run the study-as-a-service daemon: JSON-over-HTTP study /
+        classify / check / bench workloads with shared warm caches,
+        per-tenant credit budgets, /metrics and /healthz.  SIGTERM or
+        SIGINT drains in-flight requests before exit (see DESIGN.md
+        §13).
+
+    repro query WORKLOAD [--host H] [--port P] [--tenant NAME]
+          [--seed N] [--scale small|full] [--backend dict|array]
+          [--stream | --out FILE] [--seeds N] [--rounds N]
+        Submit one workload to a running daemon.  --stream prints the
+        NDJSON progress events as they arrive; otherwise the final
+        JSON response is printed (or written to --out FILE).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, Optional
 
@@ -97,12 +113,11 @@ def _run_study(
     Conflicting combinations are rejected by :func:`_cmd_study` before
     this is called.
     """
-    config = StudyConfig(topology=_topology_config(small), seed=seed, backend=backend)
-    if small:
-        config.num_probes = 400
-        config.probes_per_continent = 25
-        config.active_vp_budget = 40
-        config.max_discovery_targets = 20
+    from repro.serve.protocol import build_study_config
+
+    config = build_study_config(
+        seed=seed, scale="small" if small else "full", backend=backend
+    )
     if fault_plan is not None:
         from repro.faults import FaultPlan
 
@@ -252,26 +267,84 @@ def _write_figures(results: StudyResults, directory: str) -> list:
     return written
 
 
+def _conflict_message(flag_a: str, flag_b: str, reason: str) -> str:
+    """The one wording every mutually-exclusive-flag error uses."""
+    return f"{flag_a} and {flag_b} are mutually exclusive: {reason}"
+
+
+#: command -> ((flag_a, flag_b, reason), ...) pairwise flag exclusions.
+#: Every command's handler routes its pairs through
+#: :func:`_table_conflict` so new flags inherit the same error shape
+#: instead of inventing their own wording.  Order matters: the first
+#: violated pair wins.
+_FLAG_EXCLUSIONS = {
+    "study": (
+        (
+            "--run-dir",
+            "--checkpoint",
+            "the run ledger owns every checkpoint path inside the run "
+            "directory",
+        ),
+        (
+            "--run-dir",
+            "--shard-checkpoint",
+            "the run ledger owns every checkpoint path inside the run "
+            "directory",
+        ),
+        (
+            "--checkpoint",
+            "--resume",
+            "--resume FILE already names the journal to continue appending "
+            "to (it was previously ignored silently)",
+        ),
+    ),
+    "serve": (
+        (
+            "--tenant-budget",
+            "--unmetered",
+            "an unmetered daemon has no per-tenant ledger to size",
+        ),
+    ),
+    "query": (
+        (
+            "--stream",
+            "--out",
+            "a streamed NDJSON response has no single result document to "
+            "write to FILE",
+        ),
+    ),
+}
+
+
+def _flag_is_set(value: object) -> bool:
+    return value is not None and value is not False
+
+
+def _table_conflict(command: str, args: argparse.Namespace) -> Optional[str]:
+    """The first violated exclusion for ``command``, or ``None``."""
+    for flag_a, flag_b, reason in _FLAG_EXCLUSIONS.get(command, ()):
+        value_a = getattr(args, flag_a.lstrip("-").replace("-", "_"), None)
+        value_b = getattr(args, flag_b.lstrip("-").replace("-", "_"), None)
+        if _flag_is_set(value_a) and _flag_is_set(value_b):
+            return _conflict_message(flag_a, flag_b, reason)
+    return None
+
+
 def _study_flag_conflict(args: argparse.Namespace) -> Optional[str]:
     """The error message for an invalid flag combination, or ``None``.
 
     ``--checkpoint`` + ``--resume`` used to silently ignore
     ``--checkpoint``; persistence flags now fail loudly instead of
-    guessing which journal the operator meant.
+    guessing which journal the operator meant.  The pairwise cases live
+    in :data:`_FLAG_EXCLUSIONS`; only the --resume value-shape rules
+    (bare vs FILE) need bespoke checks here.
     """
     run_dir = getattr(args, "run_dir", None)
     resume = args.resume
     if run_dir is not None:
-        for flag, value in (
-            ("--checkpoint", args.checkpoint),
-            ("--shard-checkpoint", getattr(args, "shard_checkpoint", None)),
-        ):
-            if value is not None:
-                return (
-                    f"--run-dir and {flag} are mutually exclusive: the run "
-                    "ledger owns every checkpoint path inside the run "
-                    "directory"
-                )
+        conflict = _table_conflict("study", args)
+        if conflict is not None:
+            return conflict
         if isinstance(resume, str):
             return (
                 "--resume takes no FILE when --run-dir is set: the ledger "
@@ -283,13 +356,7 @@ def _study_flag_conflict(args: argparse.Namespace) -> Optional[str]:
             "a bare --resume requires --run-dir DIR (ledger-managed runs); "
             "legacy journals need an explicit --resume FILE"
         )
-    if args.checkpoint is not None and resume is not None:
-        return (
-            "--checkpoint and --resume are mutually exclusive: --resume FILE "
-            "already names the journal to continue appending to (it was "
-            "previously ignored silently)"
-        )
-    return None
+    return _table_conflict("study", args)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -443,6 +510,135 @@ def _cmd_check_bless(args: argparse.Namespace) -> int:
     path = bless(compute_snapshot(args.seed), directory=directory, seed=args.seed)
     print(f"blessed golden written to {path}")
     return 0
+
+
+def _default_budget() -> int:
+    from repro.serve.protocol import DEFAULT_TENANT_BUDGET
+
+    return DEFAULT_TENANT_BUDGET
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the study-as-a-service daemon until SIGTERM/SIGINT drain."""
+    conflict = _table_conflict("serve", args)
+    if conflict is not None:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+    import asyncio
+
+    from repro.serve.daemon import ReproDaemon, ServeConfig
+    from repro.serve.protocol import DEFAULT_TENANT_BUDGET
+
+    if args.unmetered:
+        # Effectively infinite per-tenant credit; admission control
+        # still bounds concurrency via the request queue.
+        budget = 10**9
+    elif args.tenant_budget is not None:
+        budget = args.tenant_budget
+    else:
+        budget = DEFAULT_TENANT_BUDGET
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        tenant_budget=budget,
+        run_dir=args.run_dir,
+    )
+    daemon = ReproDaemon(config)
+
+    async def _run_and_announce() -> None:
+        task = asyncio.ensure_future(daemon.run())
+        while daemon.bound_port is None and not task.done():
+            await asyncio.sleep(0.01)
+        if daemon.bound_port is not None:
+            print(
+                f"repro serve listening on http://{config.host}:"
+                f"{daemon.bound_port} (workers={config.workers}, "
+                f"queue={config.max_queue}, "
+                f"budget={'unmetered' if args.unmetered else budget}); "
+                "SIGTERM/SIGINT drains",
+                flush=True,
+            )
+        await task
+
+    try:
+        asyncio.run(_run_and_announce())
+    except KeyboardInterrupt:
+        # Loops without signal-handler support (rare) fall back to the
+        # default SIGINT behavior; treat it as an operator-driven stop.
+        pass
+    except OSError as error:
+        print(f"error: cannot start daemon: {error}", file=sys.stderr)
+        return 1
+    if daemon.startup_error is not None:
+        print(f"error: {daemon.startup_error}", file=sys.stderr)
+        return 1
+    print("repro serve drained cleanly")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Submit one workload to a running daemon and print the response."""
+    conflict = _table_conflict("query", args)
+    if conflict is not None:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+    from repro.serve.client import ServeClient, ServeError
+
+    params = {}
+    if args.seeds is not None:
+        params["seeds"] = args.seeds
+    if args.rounds is not None:
+        params["rounds"] = args.rounds
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.stream:
+            result_doc = None
+            for doc in client.stream(
+                args.workload,
+                tenant=args.tenant,
+                seed=args.seed,
+                scale=args.scale,
+                backend=args.backend,
+                params=params or None,
+            ):
+                print(json.dumps(doc, sort_keys=True), flush=True)
+                if doc.get("kind") == "result":
+                    result_doc = doc
+            ok = bool(result_doc and result_doc.get("ok"))
+            return 0 if ok else 1
+        payload = client.submit(
+            args.workload,
+            tenant=args.tenant,
+            seed=args.seed,
+            scale=args.scale,
+            backend=args.backend,
+            params=params or None,
+        )
+    except ServeError as error:
+        hint = (
+            f" (Retry-After: {error.retry_after}s)"
+            if error.retry_after is not None
+            else ""
+        )
+        print(f"error: {error}{hint}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    client.expect_protocol(payload)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote response to {args.out}")
+    else:
+        print(rendered)
+    return 0 if payload.get("ok") else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -673,6 +869,104 @@ def build_parser() -> argparse.ArgumentParser:
         )
     check_diff.set_defaults(handler=_cmd_check_diff)
     check_bless.set_defaults(handler=_cmd_check_bless)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the concurrent multi-tenant study-as-a-service daemon",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8151,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="data-plane worker threads"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="queued requests beyond the workers before 429 backpressure",
+    )
+    serve.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        metavar="CREDITS",
+        help="per-tenant credit budget (default %d)" % _default_budget(),
+    )
+    serve.add_argument(
+        "--unmetered",
+        action="store_true",
+        help="disable per-tenant credit budgets",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-request run manifests under DIR (advisory-locked)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = subparsers.add_parser(
+        "query", help="submit one workload to a running serve daemon"
+    )
+    query.add_argument(
+        "workload",
+        choices=("study", "classify", "check", "bench"),
+        help="workload to submit",
+    )
+    query.add_argument("--host", default="127.0.0.1", help="daemon address")
+    query.add_argument("--port", type=int, default=8151, help="daemon port")
+    query.add_argument(
+        "--tenant", default="cli", help="tenant name for budget accounting"
+    )
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="small",
+        help="study scale (small matches `repro study --small`)",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("dict", "array"),
+        default="dict",
+        help="route-tree engine backend",
+    )
+    query.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream NDJSON progress events instead of one JSON document",
+    )
+    query.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the response JSON to FILE instead of stdout",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="client-side request timeout",
+    )
+    query.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="check workload: number of differential seeds",
+    )
+    query.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="bench workload: number of timing rounds",
+    )
+    query.set_defaults(handler=_cmd_query)
 
     validate = subparsers.add_parser(
         "validate", help="run every experiment's shape check"

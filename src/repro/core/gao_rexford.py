@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
@@ -112,6 +113,34 @@ class RoutingCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional lock for caches shared across threads (serve
+        #: daemon).  ``None`` on the single-threaded path so the hot
+        #: loop pays nothing beyond one branch.
+        self._lock: Optional[threading.RLock] = None
+
+    def make_thread_safe(self) -> None:
+        """Guard every mutation with an RLock (idempotent).
+
+        The serve daemon shares one warm cache across concurrent
+        request threads; the LRU reorder + evict sequence must then be
+        atomic or two threads can interleave mid-eviction.
+        """
+        if self._lock is None:
+            self._lock = threading.RLock()
+
+    def __getstate__(self) -> Dict:
+        # Locks don't pickle; the process-pool path ships engines to
+        # workers, so drop the lock and remember whether to recreate it.
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        state["_was_thread_safe"] = self._lock is not None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        was_thread_safe = state.pop("_was_thread_safe", False)
+        self.__dict__.update(state)
+        if was_thread_safe:
+            self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -120,6 +149,13 @@ class RoutingCache:
         return key in self._data
 
     def get(self, key: CacheKey) -> Optional[RoutingInfo]:
+        lock = self._lock
+        if lock is None:
+            return self._get(key)
+        with lock:
+            return self._get(key)
+
+    def _get(self, key: CacheKey) -> Optional[RoutingInfo]:
         info = self._data.get(key)
         if info is None:
             self.misses += 1
@@ -129,6 +165,14 @@ class RoutingCache:
         return info
 
     def put(self, key: CacheKey, info: RoutingInfo) -> None:
+        lock = self._lock
+        if lock is None:
+            self._put(key, info)
+        else:
+            with lock:
+                self._put(key, info)
+
+    def _put(self, key: CacheKey, info: RoutingInfo) -> None:
         data = self._data
         if key in data:
             data.move_to_end(key)
@@ -267,6 +311,16 @@ class GaoRexfordEngine:
         self.backend = backend
         self._cache = RoutingCache(maxsize=cache_size)
 
+    def make_thread_safe(self) -> "GaoRexfordEngine":
+        """Make the routing cache safe to share across threads.
+
+        Required before handing one engine to concurrent graders (the
+        serve daemon's shared warm state); a no-op lock-free cache
+        serves everything else.  Returns ``self`` for chaining.
+        """
+        self._cache.make_thread_safe()
+        return self
+
     def compiled_topology(self):
         """The graph's shared CSR compilation (array kernel input).
 
@@ -350,7 +404,12 @@ class GaoRexfordEngine:
             infos = [self._compute(key[0], key[1]) for key in missing]
         for key, info in zip(missing, infos):
             self._cache.put(key, info)
-        self._cache.misses += len(missing)
+        lock = self._cache._lock
+        if lock is None:
+            self._cache.misses += len(missing)
+        else:
+            with lock:
+                self._cache.misses += len(missing)
         return len(missing)
 
     def cache_stats(self) -> CacheStats:

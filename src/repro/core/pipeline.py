@@ -343,9 +343,19 @@ class Study:
         self,
         config: Optional[StudyConfig] = None,
         internet: Optional[Internet] = None,
+        artifacts=None,
     ) -> None:
+        """``artifacts`` is an optional provider of shared warm build
+        artifacts (duck-typed to
+        :class:`repro.serve.cache.ArtifactStore`): when set, the
+        classification engines come from ``artifacts.engine_for(...)``
+        instead of being built cold, so a long-lived process (the serve
+        daemon) reuses routing trees across studies of the same
+        topology snapshot.  Results are unchanged — trees are a pure
+        function of the graph — only the warm/cold split moves."""
         self.config = config or StudyConfig()
         self._internet = internet
+        self._artifacts = artifacts
         self._results: Optional[StudyResults] = None
         self._ledger: Optional[RunLedger] = None
 
@@ -567,14 +577,22 @@ class Study:
         # classifier (process pool above the size threshold, serial
         # otherwise), then each layer grades against warm caches.
         with timer.span("psp"):
-            engine_simple = GaoRexfordEngine(inferred, backend=config.backend)
             partial = frozenset(
                 (entry.provider, entry.customer)
                 for entry in known_complex.partial_transit_entries()
             )
-            engine_complex = GaoRexfordEngine(
-                inferred, partial_transit=partial, backend=config.backend
-            )
+            if self._artifacts is not None:
+                engine_simple = self._artifacts.engine_for(
+                    inferred, backend=config.backend
+                )
+                engine_complex = self._artifacts.engine_for(
+                    inferred, partial_transit=partial, backend=config.backend
+                )
+            else:
+                engine_simple = GaoRexfordEngine(inferred, backend=config.backend)
+                engine_complex = GaoRexfordEngine(
+                    inferred, partial_transit=partial, backend=config.backend
+                )
             origins: Dict[Prefix, int] = {}
             for asn, prefixes in dataset.destination_prefixes.items():
                 for prefix in prefixes:

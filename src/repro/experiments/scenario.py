@@ -10,7 +10,6 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.core.pipeline import Study, StudyConfig, StudyResults
-from repro.topogen.config import TopologyConfig, small_config
 
 #: The seed every reported experiment uses.
 DEFAULT_SEED = 0
@@ -24,14 +23,13 @@ def default_study(seed: int = DEFAULT_SEED, backend: str = "dict") -> StudyResul
 
 @lru_cache(maxsize=None)
 def quick_study(seed: int = DEFAULT_SEED, backend: str = "dict") -> StudyResults:
-    """A small scenario for fast tests (seconds, not half a minute)."""
-    config = StudyConfig(
-        topology=small_config(),
-        seed=seed,
-        num_probes=400,
-        probes_per_continent=25,
-        active_vp_budget=40,
-        max_discovery_targets=20,
-        backend=backend,
-    )
+    """A small scenario for fast tests (seconds, not half a minute).
+
+    Delegates to :func:`repro.serve.protocol.build_study_config` so the
+    quick parameter block has exactly one home — the CLI, the serve
+    daemon and this helper cannot drift apart.
+    """
+    from repro.serve.protocol import build_study_config
+
+    config = build_study_config(seed=seed, scale="small", backend=backend)
     return Study(config).run()

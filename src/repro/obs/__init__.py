@@ -49,7 +49,9 @@ from repro.obs.events import (
     EventStream,
 )
 from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
     from_jsonl,
+    metrics_to_prometheus,
     render_summary,
     to_jsonl,
     to_prometheus,
@@ -69,6 +71,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     empty_snapshot,
+    escape_label_value,
+    label_key,
     merge_snapshots,
 )
 from repro.obs.trace import (
@@ -106,6 +110,8 @@ __all__ = [
     "to_jsonl",
     "from_jsonl",
     "to_prometheus",
+    "metrics_to_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "render_summary",
     "write_jsonl",
     "write_prometheus",
@@ -122,6 +128,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "merge_snapshots",
     "empty_snapshot",
+    "escape_label_value",
+    "label_key",
     # trace
     "Tracer",
     "Span",

@@ -9,10 +9,18 @@ context keeps those sites at one-boolean-check overhead.
 
 ``Study.run`` / the CLI enable a real context for the duration of a
 run; tests use :func:`using` to install a scoped context.
+
+The installed context is **per-thread**: :func:`set_obs` (and therefore
+:func:`using`) binds the context to the calling thread, falling back to
+a process-wide default when a thread never installed one.  Single-
+threaded callers see exactly the old semantics; the serve daemon relies
+on the isolation to run one :class:`Observability` per concurrent
+request without requests stomping each other's metrics and events.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -42,21 +50,30 @@ class Observability:
         )
 
 
-#: The process-wide context.  Disabled by default: the fault-free
-#: reference paths must stay at reference speed unless telemetry is
-#: explicitly requested (CLI ``--obs`` or :func:`enable`).
-_current = Observability.disabled()
+#: The process-wide fallback context.  Disabled by default: the
+#: fault-free reference paths must stay at reference speed unless
+#: telemetry is explicitly requested (CLI ``--obs`` or :func:`enable`).
+_default = Observability.disabled()
+
+#: Per-thread override installed by :func:`set_obs` / :func:`using`.
+_local = threading.local()
 
 
 def get_obs() -> Observability:
-    return _current
+    obs = getattr(_local, "obs", None)
+    return obs if obs is not None else _default
 
 
 def set_obs(obs: Observability) -> Observability:
-    """Install ``obs`` as the current context; returns the previous one."""
-    global _current
-    previous = _current
-    _current = obs
+    """Install ``obs`` as the calling thread's context.
+
+    Returns the previously effective context so callers (and
+    :func:`using`) can restore it.  Threads that never call this keep
+    seeing the process-wide default, preserving the old single-threaded
+    semantics exactly.
+    """
+    previous = get_obs()
+    _local.obs = obs
     return previous
 
 
@@ -87,11 +104,11 @@ def using(obs: Optional[Observability] = None) -> Iterator[Observability]:
 
 def events_enabled() -> bool:
     """Cheap hot-path gate used by publishers."""
-    return _current.events.enabled
+    return get_obs().events.enabled
 
 
 def publish(category: str, name: str, /, **attrs: object) -> None:
     """Publish to the current context's event stream (if enabled)."""
-    events = _current.events
+    events = get_obs().events
     if events.enabled:
         events.publish(category, name, **attrs)

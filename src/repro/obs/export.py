@@ -114,6 +114,14 @@ def from_jsonl(text: str) -> RunManifest:
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
 
+#: The content type a scrape endpoint must serve with the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` lines escape backslash and newline (not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
 
 def _format_value(value: float) -> str:
     if value == math.inf:
@@ -132,22 +140,28 @@ def _series_line(name: str, key: str, value: float, extra: str = "") -> str:
     return f"{name} {_format_value(value)}"
 
 
-def to_prometheus(manifest: RunManifest) -> str:
-    """The manifest's metric snapshot in Prometheus text format."""
-    metrics = manifest.metrics
+def metrics_to_prometheus(metrics: Dict) -> str:
+    """A metric snapshot (``MetricsRegistry.snapshot()`` shape) in
+    Prometheus text exposition format.
+
+    This is the function a live scrape endpoint serves (paired with
+    :data:`PROMETHEUS_CONTENT_TYPE`); :func:`to_prometheus` is the
+    manifest-file view of the same rendering.  Help text is escaped per
+    the exposition rules so multi-line help cannot corrupt the stream.
+    """
     lines: List[str] = []
     for name, data in sorted(metrics.get("counters", {}).items()):
-        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# HELP {name} {_escape_help(data.get('help', ''))}".rstrip())
         lines.append(f"# TYPE {name} counter")
         for key, value in sorted(data.get("series", {}).items()):
             lines.append(_series_line(name, key, value))
     for name, data in sorted(metrics.get("gauges", {}).items()):
-        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# HELP {name} {_escape_help(data.get('help', ''))}".rstrip())
         lines.append(f"# TYPE {name} gauge")
         for key, value in sorted(data.get("series", {}).items()):
             lines.append(_series_line(name, key, value))
     for name, data in sorted(metrics.get("histograms", {}).items()):
-        lines.append(f"# HELP {name} {data.get('help', '')}".rstrip())
+        lines.append(f"# HELP {name} {_escape_help(data.get('help', ''))}".rstrip())
         lines.append(f"# TYPE {name} histogram")
         buckets = list(data.get("buckets", []))
         for key, row in sorted(data.get("series", {}).items()):
@@ -162,6 +176,11 @@ def to_prometheus(manifest: RunManifest) -> str:
             lines.append(_series_line(f"{name}_sum", key, row.get("sum", 0.0)))
             lines.append(_series_line(f"{name}_count", key, row.get("count", 0.0)))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus(manifest: RunManifest) -> str:
+    """The manifest's metric snapshot in Prometheus text format."""
+    return metrics_to_prometheus(manifest.metrics)
 
 
 # ---------------------------------------------------------------------------

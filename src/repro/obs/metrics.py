@@ -45,18 +45,33 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 UNLABELED = ""
 
 
+def escape_label_value(value: object) -> str:
+    """Prometheus label-value escaping: backslash, quote and newline.
+
+    The exposition format is line-oriented, so a raw newline inside a
+    label value would end the sample early and corrupt every series
+    after it — which matters now that ``/metrics`` is network-served,
+    not just dumped to a file for humans.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def label_key(labels: Dict[str, object]) -> str:
     """Canonical series key for a label set: ``k1="v1",k2="v2"`` sorted.
 
-    The same format Prometheus exposition uses, so exporters can emit
-    series keys verbatim.
+    The same format Prometheus exposition uses (including its escaping
+    rules), so exporters can emit series keys verbatim.
     """
     if not labels:
         return UNLABELED
     parts = []
     for name in sorted(labels):
-        value = str(labels[name]).replace("\\", "\\\\").replace('"', '\\"')
-        parts.append(f'{name}="{value}"')
+        parts.append(f'{name}="{escape_label_value(labels[name])}"')
     return ",".join(parts)
 
 

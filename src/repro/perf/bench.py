@@ -662,15 +662,25 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "obs", "hotpath", "pool", "ledger"),
+        choices=("all", "obs", "hotpath", "pool", "ledger", "serve"),
         default="all",
         help="'obs' measures and merges only the telemetry_overhead "
         "section; 'hotpath' runs both route-tree backends and refreshes "
         "the hotpath, classification and cache sections; 'pool' "
         "measures supervised vs raw pool dispatch and refreshes the "
         "pool_supervision section; 'ledger' measures journal fsync "
-        "durability overhead and refreshes the ledger section; other "
-        "recorded sections stay untouched",
+        "durability overhead and refreshes the ledger section; 'serve' "
+        "load-tests the study-as-a-service daemon (concurrent clients, "
+        "req/s, p99, cache reuse) and refreshes the serve section; "
+        "other recorded sections stay untouched",
+    )
+    parser.add_argument(
+        "--serve-clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent load-generator clients for --section serve "
+        "(acceptance floor: 8)",
     )
     parser.add_argument(
         "--check-obs-overhead",
@@ -705,6 +715,15 @@ def main(argv: Optional[list] = None) -> int:
         "percent over a non-durable journal on the same campaign",
     )
     parser.add_argument(
+        "--check-serve-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit nonzero if the serve daemon's p99 request latency "
+        "under concurrent load exceeds SECONDS (also fails on any "
+        "non-byte-identical study response or hard client error)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the sections written this run as JSON on stdout "
@@ -726,6 +745,50 @@ def main(argv: Optional[list] = None) -> int:
     # summary moves to stderr so piped consumers parse clean JSON.
     def say(message: str) -> None:
         print(message, file=sys.stderr if args.json else sys.stdout)
+
+    def finish_section(written: Dict[str, object], path: str, failed: int) -> int:
+        say(f"wrote {path}")
+        if args.json:
+            print(json.dumps(written, indent=2, sort_keys=True))
+        return failed
+
+    if args.section == "serve":
+        # The daemon workload is the small scenario regardless of
+        # --quick: the section measures service concurrency, not study
+        # scale, and the differential reference is the quick snapshot.
+        from repro.serve.loadgen import bench_serve
+
+        serve = bench_serve(clients=args.serve_clients, seed=args.seed)
+        say(
+            f"serve: {serve['clients']} clients, "
+            f"{serve['completed']}/{serve['requests']} completed, "
+            f"{serve['req_per_s']:.1f} req/s, "
+            f"p50 {serve['p50_s']:.3f}s, p99 {serve['p99_s']:.3f}s"
+        )
+        say(
+            f"serve caches: engine hit-rate {serve['engine_cache_hit_rate']}, "
+            f"study hit-rate {serve['study_cache_hit_rate']}, "
+            f"{serve['tenants_seen']} tenants"
+        )
+        say(f"serve byte-identical: {serve['byte_identical']}")
+        failed = 0
+        if not serve["byte_identical"]:
+            say("FAIL: a daemon study response differed from the CLI path")
+            failed = 1
+        if serve["errors"]:
+            say(f"FAIL: {serve['errors']} hard client error(s) under load")
+            failed = 1
+        if args.check_serve_p99 is not None and (
+            serve["p99_s"] > args.check_serve_p99
+        ):
+            say(
+                f"FAIL: serve p99 {serve['p99_s']:.3f}s exceeds the "
+                f"{args.check_serve_p99}s budget"
+            )
+            failed = 1
+        written = {"serve": serve}
+        path = write_bench_file(written, args.out)
+        return finish_section(written, path, failed)
 
     build_start = time.perf_counter()
     study = (

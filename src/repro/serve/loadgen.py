@@ -1,0 +1,203 @@
+"""Concurrency load generator for the serve daemon.
+
+Drives one in-process daemon with N client threads (default 8, the
+acceptance floor) issuing a study/classify mix, and reports
+throughput, tail latency and cache reuse — the numbers
+``repro perf bench --section serve`` records into BENCH_pipeline.json.
+
+The study responses double as the **differential proof**: every one is
+compared byte-for-byte against the CLI-path snapshot
+(``serialize(snapshot_study(quick_study(seed)))`` computed locally in
+this process), so the load test fails if daemon plumbing ever perturbs
+a study result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeConfig, start_in_thread
+
+#: Acceptance floor: the daemon must sustain at least this many
+#: concurrent clients with byte-identical study responses.
+MIN_CLIENTS = 8
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load run."""
+
+    clients: int = 0
+    requests: int = 0
+    errors: int = 0
+    throttled: int = 0
+    mismatches: int = 0
+    duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+
+    def _percentile(self, fraction: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered) + 0.5) - 1))
+        return ordered[index]
+
+    @property
+    def req_per_s(self) -> float:
+        done = len(self.latencies_s)
+        return done / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def byte_identical(self) -> bool:
+        return self.mismatches == 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "completed": len(self.latencies_s),
+            "errors": self.errors,
+            "throttled": self.throttled,
+            "byte_identical": self.byte_identical,
+            "duration_s": round(self.duration_s, 4),
+            "req_per_s": round(self.req_per_s, 2),
+            "p50_s": round(self._percentile(0.50), 6),
+            "p99_s": round(self._percentile(0.99), 6),
+        }
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    tenant: str,
+    workloads: Sequence[str],
+    seed: int,
+    expected_snapshot: Optional[str],
+    report: LoadReport,
+    lock: threading.Lock,
+) -> None:
+    client = ServeClient(host, port)
+    for workload in workloads:
+        start = time.perf_counter()
+        try:
+            payload = client.submit(workload, tenant=tenant, seed=seed)
+        except ServeError as error:
+            with lock:
+                if error.status == 429:
+                    report.throttled += 1
+                else:
+                    report.errors += 1
+            # Backpressure is a signal, not a failure: honor the hint
+            # (capped so a load test cannot stall on a long Retry-After).
+            if error.status == 429:
+                time.sleep(min(0.2, float(error.retry_after or 1)))
+            continue
+        elapsed = time.perf_counter() - start
+        mismatch = (
+            workload == "study"
+            and expected_snapshot is not None
+            and payload.get("result", {}).get("snapshot_json") != expected_snapshot
+        )
+        with lock:
+            report.latencies_s.append(elapsed)
+            if mismatch:
+                report.mismatches += 1
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = MIN_CLIENTS,
+    requests_per_client: int = 3,
+    seed: int = 0,
+    expected_snapshot: Optional[str] = None,
+    mix: Sequence[str] = ("study", "classify", "classify"),
+) -> LoadReport:
+    """Hammer a running daemon with ``clients`` concurrent threads."""
+    report = LoadReport(clients=clients, requests=clients * requests_per_client)
+    lock = threading.Lock()
+    threads = []
+    start = time.perf_counter()
+    for index in range(clients):
+        workloads = [mix[i % len(mix)] for i in range(requests_per_client)]
+        thread = threading.Thread(
+            target=_client_worker,
+            args=(
+                host,
+                port,
+                f"tenant-{index}",
+                workloads,
+                seed,
+                expected_snapshot,
+                report,
+                lock,
+            ),
+            name=f"loadgen-{index}",
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - start
+    return report
+
+
+def bench_serve(
+    clients: int = MIN_CLIENTS,
+    requests_per_client: int = 3,
+    seed: int = 0,
+    workers: int = 4,
+) -> Dict[str, object]:
+    """The ``serve`` bench section: start, load, measure, drain.
+
+    Returns the JSON payload recorded under ``serve`` in
+    BENCH_pipeline.json: throughput, tail latency, cache hit rates
+    across tenants, and the byte-identity verdict of every study
+    response against the CLI path.
+    """
+    from repro.check.golden import serialize, snapshot_study
+    from repro.experiments.scenario import quick_study
+
+    # The CLI-path reference bytes, computed in this process exactly as
+    # `repro study --small` + `repro check` would.
+    expected = serialize(snapshot_study(quick_study(seed)))
+
+    handle = start_in_thread(
+        ServeConfig(port=0, workers=workers, max_queue=max(16, clients * 2))
+    )
+    try:
+        client = ServeClient(handle.host, handle.port)
+        # Warm the shared caches with one study so the measured load
+        # reflects steady-state service, not first-build latency.
+        warm = client.submit("study", tenant="warmup", seed=seed)
+        warm_identical = (
+            warm.get("result", {}).get("snapshot_json") == expected
+        )
+        report = run_load(
+            handle.host,
+            handle.port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            seed=seed,
+            expected_snapshot=expected,
+        )
+        health = client.healthz()
+    finally:
+        handle.shutdown()
+    artifacts = health.get("artifacts", {})
+    payload = report.as_dict()
+    payload.update(
+        {
+            "warm_identical": warm_identical,
+            "byte_identical": report.byte_identical and warm_identical,
+            "engine_cache_hit_rate": artifacts.get("engine_hit_rate", 0.0),
+            "study_cache_hit_rate": artifacts.get("study_hit_rate", 0.0),
+            "engines_cached": artifacts.get("engines", 0),
+            "tenants_seen": len(health.get("tenants", [])),
+        }
+    )
+    return payload

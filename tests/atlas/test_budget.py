@@ -48,6 +48,56 @@ class TestCreditLedger:
         assert ledger.spent == 50
 
 
+class TestCreditLedgerConcurrency:
+    """Regression: charge() must be atomic under concurrent spenders.
+
+    The serve daemon charges one tenant's ledger from many worker
+    threads at once.  Before the lock, the affordability check and the
+    debit were separate steps, so two racing threads could both pass
+    the check and jointly overdraw the budget.
+    """
+
+    def test_racing_charges_never_overdraw(self):
+        import threading
+
+        # Exactly 20 dns charges fit; 80 attempts race for them.
+        ledger = CreditLedger(daily_budget=200)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def spender():
+            barrier.wait()
+            for _ in range(10):
+                try:
+                    ledger.charge("dns")
+                except BudgetExceeded:
+                    pass
+                else:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=spender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(admitted) == 20
+        assert ledger.spent == 200
+        assert ledger.remaining == 0
+        assert len(ledger.history) == 20
+
+    def test_ledger_survives_pickling_without_its_lock(self):
+        """Ledgers ride to process-pool workers; locks cannot."""
+        import pickle
+
+        ledger = CreditLedger(daily_budget=100)
+        ledger.charge("dns")
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.spent == 10
+        # The revived ledger has a fresh, working lock.
+        clone.charge("dns")
+        assert clone.spent == 20
+
+
 class TestPlanCampaign:
     def test_full_coverage_when_rich(self):
         ledger = CreditLedger(daily_budget=10 ** 6)

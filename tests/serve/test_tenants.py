@@ -1,0 +1,70 @@
+"""Tenant-registry tests: budgets, isolation, admission accounting."""
+
+import threading
+
+import pytest
+
+from repro.serve.protocol import SERVE_COSTS
+from repro.serve.tenants import BudgetExceeded, TenantRegistry
+
+pytestmark = pytest.mark.serve
+
+
+class TestTenantRegistry:
+    def test_charges_accumulate_per_tenant(self):
+        registry = TenantRegistry(daily_budget=200)
+        registry.charge("alice", "study")
+        registry.charge("alice", "classify")
+        registry.charge("bob", "bench")
+        rows = dict(
+            (name, (spent, remaining))
+            for name, spent, remaining in registry.tenants()
+        )
+        assert rows["alice"] == (80, 120)
+        assert rows["bob"] == (10, 190)
+
+    def test_budgets_are_isolated_between_tenants(self):
+        registry = TenantRegistry(daily_budget=SERVE_COSTS["study"])
+        registry.charge("alice", "study")
+        with pytest.raises(BudgetExceeded):
+            registry.charge("alice", "study")
+        # Alice exhausting her ledger must not affect Bob's.
+        registry.charge("bob", "study")
+
+    def test_rejected_charge_debits_nothing(self):
+        registry = TenantRegistry(daily_budget=50)
+        with pytest.raises(BudgetExceeded):
+            registry.charge("alice", "study")
+        assert registry.remaining("alice") == 50
+
+    def test_remaining_for_unseen_tenant_is_full_budget(self):
+        assert TenantRegistry(daily_budget=77).remaining("nobody") == 77
+
+    def test_concurrent_charges_never_oversubscribe(self):
+        """The serve admission path: many threads, one tenant ledger.
+
+        Budget covers exactly 10 bench admissions; 40 racing attempts
+        must yield exactly 10 successes — an unlocked check-then-debit
+        would let several threads pass the same affordability check.
+        """
+        registry = TenantRegistry(daily_budget=10 * SERVE_COSTS["bench"])
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(5):
+                try:
+                    registry.charge("shared", "bench")
+                except BudgetExceeded:
+                    pass
+                else:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(admitted) == 10
+        assert registry.remaining("shared") == 0
