@@ -23,6 +23,7 @@ from repro.check.differential import (
     check_metamorphic,
     check_pool_supervision,
     check_seed,
+    check_temporal,
     oracle_labels,
 )
 from repro.check.golden import (
@@ -65,6 +66,7 @@ __all__ = [
     "check_metamorphic",
     "check_pool_supervision",
     "check_seed",
+    "check_temporal",
     "compute_snapshot",
     "diff_snapshots",
     "generate_scenario",

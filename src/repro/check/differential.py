@@ -860,6 +860,84 @@ def check_lpm(seed: int, rounds: int = 4) -> List[Disagreement]:
 
 
 # ---------------------------------------------------------------------------
+# Temporal: incremental vs from-scratch over a churn series
+# ---------------------------------------------------------------------------
+
+
+def check_temporal(scenario: Scenario) -> List[Disagreement]:
+    """Incremental epoch grading must equal from-scratch, byte for byte.
+
+    Builds a four-snapshot churn series from the scenario graph — the
+    base, an identical copy (the zero-diff edge case), then two rounds
+    of ~12% seeded churn (drops and label flips via
+    :func:`~repro.topogen.inference.perturb_snapshot`) — and runs the
+    temporal delta pipeline and the cold per-snapshot oracle over it on
+    both engine backends.  Every epoch's Figure-1 snapshot JSON must be
+    byte-identical between the two legs, and the zero-diff epoch must
+    not touch the engines at all (no cache misses, no re-grading).
+    """
+    from repro.temporal.study import (
+        TemporalInputs,
+        epoch_snapshot,
+        run_incremental,
+        run_scratch,
+        serialize_epoch,
+    )
+    from repro.topogen.inference import perturb_snapshot
+
+    rng = random.Random(scenario.seed ^ 0x7E4)
+    base = scenario.graph
+    series = [base, base.copy(), perturb_snapshot(base, 0.12, rng)]
+    series.append(perturb_snapshot(series[-1], 0.12, rng))
+
+    problems: List[Disagreement] = []
+    for backend in ("dict", "array"):
+        inputs = TemporalInputs(
+            decisions=scenario.decisions,
+            first_hops_1=scenario.first_hops_for,
+            first_hops_2={},
+            known_complex=scenario.complex_rel,
+            siblings=scenario.siblings,
+            partial_transit=scenario.partial_transit,
+            backend=backend,
+        )
+        incremental = run_incremental(series, inputs)
+        scratch = run_scratch(series, inputs)
+        for index, (got, want) in enumerate(
+            zip(incremental.figure1_series(), scratch)
+        ):
+            got_bytes = serialize_epoch(epoch_snapshot(index, got))
+            want_bytes = serialize_epoch(epoch_snapshot(index, want))
+            if got_bytes != want_bytes:
+                differing = sorted(
+                    layer
+                    for layer in want
+                    if got.get(layer) != want[layer]
+                )
+                problems.append(
+                    Disagreement(
+                        "temporal",
+                        scenario.seed,
+                        f"{backend} backend epoch {index}: incremental "
+                        f"figure1 diverges from from-scratch in layer(s) "
+                        f"{differing}",
+                    )
+                )
+        zero_diff = incremental.epochs[1]
+        if zero_diff.cache_misses != 0 or zero_diff.regraded_groups != 0:
+            problems.append(
+                Disagreement(
+                    "temporal",
+                    scenario.seed,
+                    f"{backend} backend: zero-diff epoch was not a pure "
+                    f"cache hit (misses={zero_diff.cache_misses}, "
+                    f"regraded={zero_diff.regraded_groups})",
+                )
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Supervised pool vs serial (heavy, opt-in)
 # ---------------------------------------------------------------------------
 
@@ -1063,6 +1141,7 @@ SCENARIO_CHECKS = {
     "gr-tree": check_gr_trees,
     "labels": check_labels,
     "metamorphic": check_metamorphic,
+    "temporal": check_temporal,
 }
 
 #: Check-name -> callable(seed) for the input-driven oracles.

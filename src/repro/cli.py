@@ -33,6 +33,18 @@ Usage::
         are mutually exclusive.  --durability picks the fsync policy
         checkpoint writes use (see DESIGN.md §12).
 
+    repro temporal [--seed N] [--small] [--backend dict|array]
+          [--snapshots N] [--churn F] [--run-dir DIR] [--resume]
+          [--json]
+        Run the longitudinal study incrementally over the monthly
+        snapshot series: consecutive snapshots are diffed into typed
+        deltas, only the routing trees the delta can affect are
+        recomputed, and the per-epoch Figure-1 violation counts are
+        reported as a time-series.  --run-dir journals every completed
+        epoch durably (DIR/temporal.jsonl) and --resume replays the
+        journaled prefix verbatim before continuing.  `repro study
+        --temporal` attaches the same time-series to a full study run.
+
     repro list
         List available experiment ids.
 
@@ -412,6 +424,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     ):
         print(results.active_robustness.render())
         print()
+    if getattr(args, "temporal", False):
+        print(_render_temporal(_attach_temporal(results, args)))
+        print()
     if args.figures:
         for path in _write_figures(results, args.figures):
             print(f"wrote {path}")
@@ -427,6 +442,125 @@ def _cmd_study(args: argparse.Namespace) -> int:
             continue
         print(report.render())
         print()
+    return 0
+
+
+def _render_temporal(temporal) -> str:
+    """The per-epoch accounting table for a temporal run."""
+    title = (
+        f"longitudinal study: {len(temporal.epochs)} epoch(s), "
+        f"backend {temporal.backend}"
+    )
+    if temporal.resumed_epochs:
+        title += f", {temporal.resumed_epochs} replayed from journal"
+    lines = [
+        title,
+        f"{'epoch':>5} {'delta':>6} {'dirty':>6} {'inval':>6} "
+        f"{'regraded':>9} {'reused':>7} {'misses':>7}  "
+        "violations Simple/All-1",
+    ]
+    for epoch in temporal.epochs:
+        violations = epoch.violations()
+        lines.append(
+            f"{epoch.index:>5} "
+            f"{sum(epoch.delta.values()):>6} "
+            f"{epoch.dirty_destinations:>6} "
+            f"{epoch.invalidated_trees:>6} "
+            f"{epoch.regraded_groups:>9} "
+            f"{epoch.reused_groups:>7} "
+            f"{epoch.cache_misses:>7}  "
+            f"{violations.get('Simple', 0)}/{violations.get('All-1', 0)}"
+            + ("  [replayed]" if epoch.resumed else "")
+        )
+    return "\n".join(lines)
+
+
+def _attach_temporal(results: StudyResults, args: argparse.Namespace):
+    """Run the incremental time-series over a study's own snapshots.
+
+    Journals to the run ledger's ``temporal.jsonl`` when the study has
+    a ``--run-dir``; a bare ``--resume`` then replays the journaled
+    epoch prefix verbatim before continuing.
+    """
+    import os
+
+    from repro.temporal import TemporalInputs, run_incremental
+
+    journal_path = None
+    run_dir = getattr(args, "run_dir", None)
+    if run_dir is not None:
+        from repro.faults.ledger import TEMPORAL_JOURNAL
+
+        journal_path = os.path.join(run_dir, TEMPORAL_JOURNAL)
+    temporal = run_incremental(
+        results.snapshots,
+        TemporalInputs.from_study(results),
+        journal_path=journal_path,
+        resume=bool(getattr(args, "resume", None)),
+    )
+    results.temporal = temporal
+    return temporal
+
+
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    """Standalone incremental longitudinal study over snapshot series."""
+    if args.resume and args.run_dir is None:
+        print(
+            "error: --resume requires --run-dir DIR (the epoch journal "
+            "lives in the ledger-managed run directory)",
+            file=sys.stderr,
+        )
+        return 2
+    import dataclasses
+
+    from repro.temporal import TemporalInputs, run_incremental, series_fingerprint
+
+    results = _run_study(args.seed, args.small, backend=args.backend)
+    inputs = TemporalInputs.from_study(results, backend=args.backend)
+    snapshots = results.snapshots
+    if args.snapshots is not None or args.churn is not None:
+        from repro.topogen.inference import InferenceConfig, inferred_snapshots
+
+        inference = results.config.inference or InferenceConfig()
+        if args.snapshots is not None:
+            inference = dataclasses.replace(inference, num_snapshots=args.snapshots)
+        if args.churn is not None:
+            inference = dataclasses.replace(inference, snapshot_churn=args.churn)
+        snapshots, _ = inferred_snapshots(
+            results.internet, inference, seed=results.config.seed + 1
+        )
+
+    ledger = None
+    journal_path = None
+    storage = None
+    if args.run_dir is not None:
+        from repro.faults.ledger import RunLedger
+
+        ledger = RunLedger(args.run_dir)
+        ledger.open(
+            {"temporal-series": series_fingerprint(snapshots, inputs)},
+            resume=bool(args.resume),
+        )
+        journal_path = ledger.temporal_path
+        storage = ledger.storage()
+    try:
+        temporal = run_incremental(
+            snapshots,
+            inputs,
+            journal_path=journal_path,
+            resume=bool(args.resume),
+            storage=storage,
+        )
+        if ledger is not None:
+            ledger.finalize()
+    finally:
+        if ledger is not None:
+            ledger.close()
+    results.temporal = temporal
+    if args.json:
+        print(json.dumps(temporal.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(_render_temporal(temporal))
     return 0
 
 
@@ -784,7 +918,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run manifest JSON to FILE (implies --obs); "
         "render it later with `repro obs report FILE`",
     )
+    study.add_argument(
+        "--temporal",
+        action="store_true",
+        help="also run the incremental longitudinal study over the "
+        "monthly snapshot series (journals epochs to the --run-dir "
+        "ledger; see `repro temporal` for the standalone command)",
+    )
     study.set_defaults(handler=_cmd_study)
+
+    temporal = subparsers.add_parser(
+        "temporal",
+        help="incremental longitudinal study over the snapshot series",
+    )
+    temporal.add_argument("--seed", type=int, default=0)
+    temporal.add_argument(
+        "--small", action="store_true", help="small, fast scenario"
+    )
+    temporal.add_argument(
+        "--backend",
+        choices=("dict", "array"),
+        default="dict",
+        help="route-tree engine backend (identical results)",
+    )
+    temporal.add_argument(
+        "--snapshots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="regenerate the series with N monthly snapshots "
+        "(default: the study's own series)",
+    )
+    temporal.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="regenerate the series with per-link churn FRACTION "
+        "(default: the study's configured churn)",
+    )
+    temporal.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger-managed run directory; every completed epoch is "
+        "journaled durably to DIR/temporal.jsonl",
+    )
+    temporal.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journaled epoch prefix verbatim and continue "
+        "from the first missing epoch (requires --run-dir)",
+    )
+    temporal.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full time-series and accounting as JSON",
+    )
+    temporal.set_defaults(handler=_cmd_temporal)
 
     list_parser = subparsers.add_parser("list", help="list experiment ids")
     list_parser.set_defaults(handler=_cmd_list)
@@ -845,7 +1036,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="CHECK",
         help="restrict to one check (repeatable): gr-tree, labels, "
-        "metamorphic, bgp-decision, lpm; heavy opt-in checks "
+        "metamorphic, temporal, bgp-decision, lpm; heavy opt-in checks "
         "(pool-supervised, ledger-resume) run only when named here",
     )
     check_run.add_argument(

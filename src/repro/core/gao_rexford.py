@@ -24,7 +24,6 @@ sibling decisions as "Best".
 
 from __future__ import annotations
 
-import heapq
 import os
 import threading
 from collections import OrderedDict, deque
@@ -310,6 +309,13 @@ class GaoRexfordEngine:
         self.canonical_keys = canonical_keys
         self.backend = backend
         self._cache = RoutingCache(maxsize=cache_size)
+        #: Graph version the cached trees were computed against.  Every
+        #: cache access re-checks it: a mutated graph flushes the whole
+        #: cache (counted in ``stale_flushes``) instead of silently
+        #: serving trees of a topology that no longer exists.
+        self._graph_version = graph._version
+        #: How many times a graph mutation forced a full cache flush.
+        self.stale_flushes = 0
 
     def make_thread_safe(self) -> "GaoRexfordEngine":
         """Make the routing cache safe to share across threads.
@@ -330,6 +336,49 @@ class GaoRexfordEngine:
         from repro.core.hotpath.csr import compile_topology
 
         return compile_topology(self.graph)
+
+    def _check_graph_version(self) -> None:
+        """Flush the cache if the graph mutated since it was filled.
+
+        Cached trees are valid only for the exact topology they were
+        computed on.  Rather than serving stale state silently (or
+        raising and killing long-lived engines), an unexplained graph
+        mutation invalidates everything; callers that *know* which
+        trees a mutation affected use :meth:`invalidate_keys` to keep
+        the certified-valid remainder warm.
+        """
+        version = self.graph._version
+        if version != self._graph_version:
+            self._cache.clear()
+            self.stale_flushes += 1
+            self._graph_version = version
+
+    def cached_trees(self) -> List[Tuple[CacheKey, RoutingInfo]]:
+        """The cached (key, tree) pairs, without touching hit counters.
+
+        The temporal dirty-set computation inspects every warm tree;
+        routing it through :meth:`routing_info` would distort the
+        cache-stats deltas the epoch reports assert on.
+        """
+        self._check_graph_version()
+        return list(self._cache._data.items())
+
+    def invalidate_keys(self, keys: Iterable[CacheKey]) -> int:
+        """Drop specific cached trees and adopt the current graph.
+
+        The caller certifies that every *remaining* entry is still
+        valid for the graph as it stands now (the temporal delta
+        pipeline proves this through its dirty-set computation), so the
+        engine re-arms its version guard instead of flushing.  Returns
+        how many entries were actually dropped.
+        """
+        data = self._cache._data
+        dropped = 0
+        for key in keys:
+            if data.pop(key, None) is not None:
+                dropped += 1
+        self._graph_version = self.graph._version
+        return dropped
 
     def cache_key(self, destination: int, allowed: Optional[FrozenSet[int]]) -> CacheKey:
         """Canonical cache key for a routing tree.
@@ -360,6 +409,7 @@ class GaoRexfordEngine:
         prefix-specific-policy criteria pull (Section 4.3).  ``None``
         means every neighbor does.
         """
+        self._check_graph_version()
         key = self.cache_key(destination, allowed_first_hops)
         cached = self._cache.get(key)
         if cached is not None:
@@ -375,6 +425,7 @@ class GaoRexfordEngine:
         info: RoutingInfo,
     ) -> None:
         """Install a precomputed routing tree (parallel precompute)."""
+        self._check_graph_version()
         self._cache.put(self.cache_key(destination, allowed_first_hops), info)
 
     def warm_batch(self, keys: Iterable[CacheKey]) -> int:
@@ -388,6 +439,7 @@ class GaoRexfordEngine:
         charged as misses (one each), so cache-stats reports match the
         dict backend's one-miss-per-computed-tree accounting.
         """
+        self._check_graph_version()
         canonical: List[CacheKey] = []
         seen: Set[CacheKey] = set()
         for destination, allowed in keys:
@@ -528,49 +580,51 @@ def compute_routing_info(
     # Stage 3: provider routes propagate down customer links.  A
     # provider exports its *chosen* route, whose length is its
     # customer distance if it has one, else its peer distance, else
-    # its (recursively computed) provider distance.  Unit weights
-    # make Dijkstra exact here.
+    # its (recursively computed) provider distance.  Unit weights make
+    # Dijkstra exact here, and with unit weights the priority queue
+    # degenerates into distance buckets: every relaxation lands in the
+    # next level, so processing levels in order (each sorted by ASN to
+    # keep the heap's exact (dist, asn) pop order, which fixes parent
+    # tie-breaking) visits nodes in the identical sequence without any
+    # per-edge heap traffic.
     provider = info.provider_dist
+    provider_parent = info.provider_parent
     down = adjacency.down
 
-    def chosen_fixed(asn: int) -> Optional[int]:
-        if asn in customer:
-            return customer[asn]
-        if asn in peer:
-            return peer[asn]
-        return None
-
-    heap: List[Tuple[int, int]] = []
-    for asn in set(customer) | set(peer):
-        fixed = chosen_fixed(asn)
-        if fixed is not None:
-            heapq.heappush(heap, (fixed, asn))
+    # An AS re-exports its provider route downward only when that is
+    # its chosen route, i.e. it has no customer or peer route.
+    has_fixed = set(customer)
+    has_fixed.update(peer)
+    buckets: Dict[int, List[int]] = {}
+    for asn in has_fixed:
+        fixed = customer[asn] if asn in customer else peer[asn]
+        buckets.setdefault(fixed, []).append(asn)
     settled: Set[int] = set()
-    while heap:
-        dist, current = heapq.heappop(heap)
-        if current in settled:
-            continue
-        settled.add(current)
-        for neighbor in down.get(current, empty):
-            # Route travels current -> neighbor where neighbor is a
-            # customer of current (the neighbor learns from its
-            # provider).
-            if current == destination and not first_hop_ok(neighbor):
+    while buckets:
+        dist = min(buckets)
+        nodes = buckets.pop(dist)
+        nodes.sort()
+        candidate = dist + 1
+        for current in nodes:
+            if current in settled:
                 continue
-            # Partial transit: this provider does not hand its own
-            # provider-learned routes to this customer.
-            if (
-                (current, neighbor) in partial_transit
-                and chosen_fixed(current) is None
-            ):
-                continue
-            candidate = dist + 1
-            if candidate < provider.get(neighbor, _INF):
-                provider[neighbor] = candidate
-                info.provider_parent[neighbor] = current
-                # The neighbor re-exports downward only when this
-                # provider route is its chosen route, i.e. it has no
-                # customer or peer route of its own.
-                if chosen_fixed(neighbor) is None:
-                    heapq.heappush(heap, (candidate, neighbor))
+            settled.add(current)
+            for neighbor in down.get(current, empty):
+                # Route travels current -> neighbor where neighbor is
+                # a customer of current (the neighbor learns from its
+                # provider).
+                if current == destination and not first_hop_ok(neighbor):
+                    continue
+                # Partial transit: this provider does not hand its own
+                # provider-learned routes to this customer.
+                if (
+                    (current, neighbor) in partial_transit
+                    and current not in has_fixed
+                ):
+                    continue
+                if candidate < provider.get(neighbor, _INF):
+                    provider[neighbor] = candidate
+                    provider_parent[neighbor] = current
+                    if neighbor not in has_fixed:
+                        buckets.setdefault(candidate, []).append(neighbor)
     return info

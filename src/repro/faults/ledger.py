@@ -55,6 +55,7 @@ LEDGER_FILE = "ledger.json"
 CAMPAIGN_JOURNAL = "campaign.jsonl"
 ACTIVE_JOURNAL = "active.jsonl"
 SHARD_JOURNAL = "shards.jsonl"
+TEMPORAL_JOURNAL = "temporal.jsonl"
 LOCK_FILE = ".lock"
 GENERATION_FILE = ".generation"
 
@@ -98,6 +99,10 @@ class RunLedger:
     @property
     def shards_path(self) -> str:
         return os.path.join(self.run_dir, SHARD_JOURNAL)
+
+    @property
+    def temporal_path(self) -> str:
+        return os.path.join(self.run_dir, TEMPORAL_JOURNAL)
 
     @property
     def lock_path(self) -> str:

@@ -1,0 +1,39 @@
+"""Temporal delta pipeline: incremental studies over snapshot series.
+
+Diffs consecutive inferred-topology snapshots into typed
+:class:`GraphDelta` objects, invalidates exactly the cached routing
+trees a delta can change, re-grades only the impacted decisions, and
+emits the longitudinal violation time-series — proven equivalent to
+from-scratch recomputation by the ``temporal`` differential check.
+"""
+
+from repro.temporal.delta import GraphDelta, apply_delta, diff_graphs
+from repro.temporal.dirty import dirty_cache_keys, keys_to_invalidate
+from repro.temporal.study import (
+    EpochReport,
+    TemporalInputs,
+    TemporalJournal,
+    TemporalResults,
+    epoch_snapshot,
+    run_incremental,
+    run_scratch,
+    serialize_epoch,
+    series_fingerprint,
+)
+
+__all__ = [
+    "GraphDelta",
+    "apply_delta",
+    "diff_graphs",
+    "dirty_cache_keys",
+    "keys_to_invalidate",
+    "EpochReport",
+    "TemporalInputs",
+    "TemporalJournal",
+    "TemporalResults",
+    "epoch_snapshot",
+    "run_incremental",
+    "run_scratch",
+    "serialize_epoch",
+    "series_fingerprint",
+]

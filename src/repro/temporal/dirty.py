@@ -1,0 +1,273 @@
+"""Which cached routing trees a :class:`GraphDelta` can change.
+
+Gao-Rexford distances are the unique fixpoint of per-node, per-stage
+min-equations (DESIGN.md §14 states them and the soundness argument in
+full):
+
+* stage 1 — ``cd(x) = min over customers/siblings b of x of cd(b)+1``
+  (base case ``cd(dest) = 0``),
+* stage 2 — ``pd(x) = min over peers b of x of cd(b)+1``,
+* stage 3 — ``provd(c) = min over providers q of c of chosen(q)+1``
+  where ``chosen(q)`` prefers ``cd`` over ``pd`` over ``provd`` and a
+  partial-transit pair ``(q, c)`` contributes no term while ``q`` has
+  no customer/peer route,
+
+with every term whose *source* is the destination gated by the tree's
+allowed-first-hop set.  An edge change touches only the terms it
+creates or deletes, so a cached tree provably cannot move unless:
+
+* a **removed** term was the *only* achiever of some node-stage min
+  (counted against the old graph's surviving terms, evaluated at the
+  old tree's distances), or
+* an **added** term, evaluated at the old distances, *strictly*
+  improves some node-stage min (ties cannot move distances — only
+  parents, which nothing on the temporal path consumes), or
+* the change is **incident to the destination** (first-hop gating and
+  the engine's canonical-key collapse both read the destination's
+  neighbor set, so these trees are dirtied unconditionally).
+
+The test never under-approximates; it over-approximates only when a
+removal and an addition in the same delta would exactly cancel.  It is
+evaluated against the *old* graph — callers must compute dirty sets
+before patching the shared graph forward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.gao_rexford import CacheKey, GaoRexfordEngine, RoutingInfo
+from repro.temporal.delta import GraphDelta
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+
+#: The three construction stages a term can belong to.
+_STAGE_CUSTOMER = 0
+_STAGE_PEER = 1
+_STAGE_PROVIDER = 2
+
+#: One directional term: (node whose min it feeds, stage, source node).
+_Term = Tuple[int, int, int]
+
+
+def _directional_terms(links) -> List[_Term]:
+    """The stage terms a set of normalized links creates or deletes.
+
+    A customer-provider link feeds the provider's stage-1 min from the
+    customer and the customer's stage-3 min from the provider; peer
+    links feed both endpoints' stage-2 mins from each other; sibling
+    links feed both endpoints' stage-1 mins from each other.
+    """
+    terms: List[_Term] = []
+    for a, b, rel in links:
+        if rel is Relationship.CUSTOMER:
+            # Normal form: a is the provider, b the customer.
+            terms.append((a, _STAGE_CUSTOMER, b))
+            terms.append((b, _STAGE_PROVIDER, a))
+        elif rel is Relationship.PEER:
+            terms.append((a, _STAGE_PEER, b))
+            terms.append((b, _STAGE_PEER, a))
+        else:  # SIBLING carries customer routes both ways.
+            terms.append((a, _STAGE_CUSTOMER, b))
+            terms.append((b, _STAGE_CUSTOMER, a))
+    return terms
+
+
+def _term_value(
+    stage: int,
+    node: int,
+    source: int,
+    info: RoutingInfo,
+    partial_transit: FrozenSet[Tuple[int, int]],
+    destination: int,
+    allowed: Optional[FrozenSet[int]],
+) -> Optional[int]:
+    """The term's value at the old tree's distances; None if absent.
+
+    Mirrors the engine's gates exactly: announcements leave the
+    destination only toward allowed first hops, and a partial-transit
+    provider exports nothing downward while it has no fixed
+    (customer/peer) route of its own.
+    """
+    if source == destination and allowed is not None and node not in allowed:
+        return None
+    customer = info.customer_dist
+    if stage == _STAGE_CUSTOMER or stage == _STAGE_PEER:
+        base = customer.get(source)
+        return None if base is None else base + 1
+    # Stage 3: the provider exports its chosen route.
+    base = customer.get(source)
+    if base is None:
+        base = info.peer_dist.get(source)
+        if base is None:
+            if (source, node) in partial_transit:
+                return None
+            base = info.provider_dist.get(source)
+            if base is None:
+                return None
+    return base + 1
+
+
+def _node_min(stage: int, node: int, info: RoutingInfo) -> Optional[int]:
+    if stage == _STAGE_CUSTOMER:
+        return info.customer_dist.get(node)
+    if stage == _STAGE_PEER:
+        return info.peer_dist.get(node)
+    return info.provider_dist.get(node)
+
+
+def _surviving_achievers(
+    graph: ASGraph,
+    stage: int,
+    node: int,
+    old_min: int,
+    info: RoutingInfo,
+    partial_transit: FrozenSet[Tuple[int, int]],
+    destination: int,
+    allowed: Optional[FrozenSet[int]],
+) -> int:
+    """How many of the node's old-graph terms attain ``old_min``.
+
+    The scan runs over the *old* graph, so removed edges are still
+    counted — the caller compares this total against the removed
+    achievers to decide whether any achiever survives.
+    """
+    if stage == _STAGE_CUSTOMER:
+        wanted = (Relationship.CUSTOMER, Relationship.SIBLING)
+    elif stage == _STAGE_PEER:
+        wanted = (Relationship.PEER,)
+    else:
+        wanted = (Relationship.PROVIDER,)
+    count = 0
+    for neighbor, rel in graph.neighbors(node).items():
+        if rel not in wanted:
+            continue
+        value = _term_value(
+            stage, node, neighbor, info, partial_transit, destination, allowed
+        )
+        if value == old_min:
+            count += 1
+    return count
+
+
+def _tree_is_dirty(
+    graph: ASGraph,
+    info: RoutingInfo,
+    destination: int,
+    allowed: Optional[FrozenSet[int]],
+    partial_transit: FrozenSet[Tuple[int, int]],
+    removed_terms: List[_Term],
+    added_terms: List[_Term],
+) -> bool:
+    """Whether this one cached tree can move under the delta.
+
+    ``removed_terms``/``added_terms`` carry no destination-incident
+    terms — the caller already dirtied those trees unconditionally.
+    """
+    # Removals: a (node, stage) min whose every achiever is removed
+    # must rise.  Group removed terms per (node, stage) so several
+    # removed edges at one node are counted together.
+    removed_at: Dict[Tuple[int, int], int] = {}
+    for node, stage, source in removed_terms:
+        old_min = _node_min(stage, node, info)
+        if old_min is None:
+            continue
+        value = _term_value(
+            stage, node, source, info, partial_transit, destination, allowed
+        )
+        if value != old_min:
+            continue  # not an achiever: removing it changes nothing
+        key = (node, stage)
+        removed_at[key] = removed_at.get(key, 0) + 1
+    for (node, stage), removed_count in removed_at.items():
+        total = _surviving_achievers(
+            graph,
+            stage,
+            node,
+            _node_min(stage, node, info),
+            info,
+            partial_transit,
+            destination,
+            allowed,
+        )
+        if removed_count >= total:
+            return True
+
+    # Additions: a new term that strictly improves a min (or creates
+    # one where none existed) must lower it.  Equal-value terms cannot
+    # move distances, only parents — which the temporal path never
+    # reads (grading and these dirty tests are distance-only).
+    for node, stage, source in added_terms:
+        value = _term_value(
+            stage, node, source, info, partial_transit, destination, allowed
+        )
+        if value is None:
+            continue
+        old_min = _node_min(stage, node, info)
+        if old_min is None or value < old_min:
+            return True
+    return False
+
+
+def dirty_cache_keys(
+    engine: GaoRexfordEngine, delta: GraphDelta
+) -> Tuple[Set[int], Set[CacheKey]]:
+    """(dirty destinations, dirty cache keys) among the engine's warm trees.
+
+    Must run **before** the engine's graph is patched forward: both the
+    achiever counting and the cached trees themselves describe the old
+    topology.  A destination in the returned set dirties *every* key
+    for it (whatever the allowed set); the key set covers trees dirtied
+    by non-incident changes.  Pass the union to
+    :meth:`GaoRexfordEngine.invalidate_keys` after patching.
+    """
+    graph = engine.graph
+    partial_transit = engine.partial_transit
+
+    endpoints: Set[int] = set()
+    for a, b in delta.touched_pairs():
+        endpoints.add(a)
+        endpoints.add(b)
+    endpoints.update(delta.added_asns)
+    endpoints.update(delta.removed_asns)
+
+    removed_all = _directional_terms(delta.removed_links())
+    added_all = _directional_terms(delta.added_links())
+
+    dirty_dests: Set[int] = set()
+    dirty_keys: Set[CacheKey] = set()
+    for (destination, allowed), info in engine.cached_trees():
+        if destination in endpoints:
+            # First-hop gating and canonical-key collapse both read the
+            # destination's neighbor set; any incident change dirties
+            # the whole destination.
+            dirty_dests.add(destination)
+            continue
+        # This destination touches no changed edge, so no term below
+        # involves it and the unconditional case above is fully spent.
+        if _tree_is_dirty(
+            graph,
+            info,
+            destination,
+            allowed,
+            partial_transit,
+            removed_all,
+            added_all,
+        ):
+            dirty_keys.add((destination, allowed))
+    return dirty_dests, dirty_keys
+
+
+def keys_to_invalidate(
+    engine: GaoRexfordEngine,
+    dirty_dests: Iterable[int],
+    dirty_keys: Iterable[CacheKey],
+) -> List[CacheKey]:
+    """Expand a dirty set into the concrete cached keys to drop."""
+    dests = set(dirty_dests)
+    keys = set(dirty_keys)
+    return [
+        key
+        for key, _info in engine.cached_trees()
+        if key[0] in dests or key in keys
+    ]

@@ -218,6 +218,37 @@ def _sample_complex_dataset(
     return known
 
 
+def perturb_snapshot(
+    base: ASGraph, churn: float, rng: random.Random
+) -> ASGraph:
+    """One churned monthly view of ``base``.
+
+    Per link, one draw from ``rng`` decides its fate: the bottom half of
+    the churn band drops the link for the month, the top half flips its
+    label (customer-provider <-> peer), and everything above keeps it
+    verbatim.  Consumes exactly one ``rng.random()`` per base link, so
+    :func:`inferred_snapshots` built on this helper reproduces the
+    historical snapshot series byte-for-byte.
+    """
+    snapshot = ASGraph()
+    for asys in base.ases():
+        snapshot.add_as(asys)
+    for a, b, rel in base.links():
+        roll = rng.random()
+        if roll < churn / 2:
+            continue  # link missing this month
+        if roll < churn:
+            flipped = (
+                Relationship.PEER
+                if rel is Relationship.CUSTOMER
+                else Relationship.CUSTOMER
+            )
+            snapshot.add_link(a, b, flipped)
+        else:
+            snapshot.add_link(a, b, rel)
+    return snapshot
+
+
 def inferred_snapshots(
     internet: Internet,
     config: Optional[InferenceConfig] = None,
@@ -232,23 +263,8 @@ def inferred_snapshots(
     config = config or InferenceConfig()
     base, known_complex = infer_topology(internet, config, seed)
     rng = random.Random(seed + 1)
-    snapshots: List[ASGraph] = []
-    for _ in range(config.num_snapshots):
-        snapshot = ASGraph()
-        for asys in base.ases():
-            snapshot.add_as(asys)
-        for a, b, rel in base.links():
-            roll = rng.random()
-            if roll < config.snapshot_churn / 2:
-                continue  # link missing this month
-            if roll < config.snapshot_churn:
-                flipped = (
-                    Relationship.PEER
-                    if rel is Relationship.CUSTOMER
-                    else Relationship.CUSTOMER
-                )
-                snapshot.add_link(a, b, flipped)
-            else:
-                snapshot.add_link(a, b, rel)
-        snapshots.append(snapshot)
+    snapshots = [
+        perturb_snapshot(base, config.snapshot_churn, rng)
+        for _ in range(config.num_snapshots)
+    ]
     return snapshots, known_complex

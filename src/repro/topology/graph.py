@@ -127,6 +127,21 @@ class ASGraph:
         self._version += 1
         return True
 
+    def remove_as(self, asn: int) -> bool:
+        """Remove an AS and its incident links; returns whether it existed.
+
+        The inverse of :meth:`add_as` plus edge cleanup, used by the
+        temporal delta pipeline when a snapshot drops an AS entirely.
+        """
+        if asn not in self._ases:
+            return False
+        for neighbor in list(self._neighbors.get(asn, ())):
+            del self._neighbors[neighbor][asn]
+        self._neighbors.pop(asn, None)
+        del self._ases[asn]
+        self._version += 1
+        return True
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""The temporal incremental-vs-scratch invariant in the check battery.
+
+``check_temporal`` is the metamorphic heart of the delta pipeline: on
+every seeded scenario, incremental epoch grading must equal the cold
+per-snapshot oracle byte for byte on both backends.  The mutation test
+at the bottom proves the invariant has teeth — an under-approximated
+dirty set (the one bug class the whole pipeline hinges on) must
+surface as a disagreement, not slip through.
+"""
+
+import pytest
+
+from repro.check import ALL_CHECKS, check_temporal, generate_scenario, run_checks
+from repro.temporal import dirty
+
+pytestmark = [pytest.mark.check, pytest.mark.temporal]
+
+
+class TestTemporalCheck:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_on_seeded_scenarios(self, seed):
+        assert check_temporal(generate_scenario(seed)) == []
+
+    def test_registered_in_default_battery(self):
+        assert "temporal" in ALL_CHECKS
+
+    def test_runner_only_temporal(self):
+        report = run_checks(2, only=["temporal"])
+        assert report.checks == ["temporal"]
+        assert report.ok
+
+
+class TestDirtySetMutationIsCaught:
+    """Prove the differential catches dirty-set under-approximation."""
+
+    def test_empty_dirty_set_flagged(self, monkeypatch):
+        # The worst under-approximation: claim no cached tree is ever
+        # dirtied, so every stale tree survives each epoch.
+        monkeypatch.setattr(
+            dirty, "dirty_cache_keys", lambda engine, delta: (set(), set())
+        )
+        problems = check_temporal(generate_scenario(0))
+        assert any(p.check == "temporal" for p in problems)
+        assert any("diverges from from-scratch" in p.detail for p in problems)
+
+    def test_destination_only_dirty_set_flagged(self, monkeypatch):
+        # Subtler: keep the unconditional incident-endpoint dirtying
+        # but drop the non-incident (path-shape) half of the analysis.
+        real = dirty.dirty_cache_keys
+
+        def halved(engine, delta):
+            dests, _keys = real(engine, delta)
+            return dests, set()
+
+        monkeypatch.setattr(dirty, "dirty_cache_keys", halved)
+        problems = check_temporal(generate_scenario(0))
+        assert any(p.check == "temporal" for p in problems)

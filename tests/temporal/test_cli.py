@@ -1,0 +1,95 @@
+"""End-to-end tests for the ``repro temporal`` / ``repro study
+--temporal`` CLI surfaces.
+
+The expensive study build is patched to reuse the session study
+fixture (itself the small scenario), so these exercise the whole
+temporal command path — snapshot series, journal, ledger, rendering —
+without rebuilding a study per invocation.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+
+pytestmark = pytest.mark.temporal
+
+
+@pytest.fixture
+def patched_study(monkeypatch, study):
+    def fake_run_study(seed, small, **kwargs):
+        return study
+
+    monkeypatch.setattr(cli, "_run_study", fake_run_study)
+    return study
+
+
+class TestTemporalCommand:
+    def test_json_output_parses(self, patched_study, capsys):
+        assert cli.main(["temporal", "--small", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "dict"
+        assert payload["resumed_epochs"] == 0
+        assert len(payload["epochs"]) == len(patched_study.snapshots)
+        for epoch in payload["epochs"]:
+            assert set(epoch["figure1"])  # every epoch carries counts
+
+    def test_renders_epoch_table(self, patched_study, capsys):
+        assert cli.main(["temporal", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "longitudinal study:" in out
+        assert f"{len(patched_study.snapshots)} epoch(s)" in out
+        assert "backend dict" in out
+
+    def test_array_backend(self, patched_study, capsys):
+        assert cli.main(["temporal", "--small", "--backend", "array"]) == 0
+        assert "backend array" in capsys.readouterr().out
+
+    def test_series_override_flags(self, patched_study, capsys):
+        code = cli.main(
+            ["temporal", "--small", "--snapshots", "3", "--churn", "0.1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["epochs"]) == 3
+
+    def test_run_dir_writes_ledger_and_journal(
+        self, patched_study, tmp_path, capsys
+    ):
+        run_dir = str(tmp_path / "run")
+        assert cli.main(["temporal", "--small", "--run-dir", run_dir]) == 0
+        assert os.path.exists(os.path.join(run_dir, "ledger.json"))
+        assert os.path.exists(os.path.join(run_dir, "temporal.jsonl"))
+
+    def test_resume_replays_journaled_epochs(
+        self, patched_study, tmp_path, capsys
+    ):
+        run_dir = str(tmp_path / "run")
+        assert cli.main(["temporal", "--small", "--run-dir", run_dir]) == 0
+        first = capsys.readouterr().out
+        assert "replayed" not in first
+
+        code = cli.main(
+            ["temporal", "--small", "--run-dir", run_dir, "--resume"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        epochs = len(patched_study.snapshots)
+        assert f"{epochs} replayed from journal" in out
+        assert out.count("[replayed]") == epochs
+
+    def test_resume_without_run_dir_exits_two(self, patched_study, capsys):
+        assert cli.main(["temporal", "--small", "--resume"]) == 2
+        assert "--resume requires --run-dir" in capsys.readouterr().err
+
+
+class TestStudyTemporalFlag:
+    def test_attaches_series_to_study_output(self, patched_study, capsys):
+        assert cli.main(["study", "--small", "--temporal"]) == 0
+        out = capsys.readouterr().out
+        assert "longitudinal study:" in out
+        assert f"{len(patched_study.snapshots)} epoch(s)" in out
+        # The study's own reports still render after the series.
+        assert patched_study.temporal is not None

@@ -1,0 +1,167 @@
+"""Incremental ≡ from-scratch over the study's own snapshot series.
+
+The metamorphic core of the temporal pipeline: on both engine backends
+the delta-driven incremental runner must reproduce the cold
+per-snapshot reference byte-for-byte per epoch, the zero-diff epoch
+must be a pure cache hit, total churn must degrade gracefully to a
+cold recompute, and a journal-backed resume must continue into the
+identical series.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.temporal.study import (
+    TemporalInputs,
+    TemporalJournal,
+    epoch_snapshot,
+    run_incremental,
+    run_scratch,
+    serialize_epoch,
+    series_fingerprint,
+)
+from repro.topogen.inference import InferenceConfig, inferred_snapshots
+
+pytestmark = pytest.mark.temporal
+
+BACKENDS = ("dict", "array")
+
+
+@pytest.fixture(scope="module")
+def series(study):
+    return study.snapshots
+
+
+def _inputs(study, backend):
+    return TemporalInputs.from_study(study, backend=backend)
+
+
+def _epoch_bytes(series):
+    return [
+        serialize_epoch(epoch_snapshot(index, figure1))
+        for index, figure1 in enumerate(series)
+    ]
+
+
+class TestIncrementalEqualsScratch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_study_series_byte_identical(self, study, series, backend):
+        inputs = _inputs(study, backend)
+        incremental = run_incremental(series, inputs)
+        scratch = run_scratch(series, inputs)
+        assert _epoch_bytes(incremental.figure1_series()) == _epoch_bytes(scratch)
+
+    def test_backends_agree_with_each_other(self, study, series):
+        legs = [
+            run_incremental(series, _inputs(study, backend)).figure1_series()
+            for backend in BACKENDS
+        ]
+        assert legs[0] == legs[1]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_higher_churn_series(self, study, backend):
+        """A fresh, churnier series (not the study default) agrees too."""
+        inference = InferenceConfig(num_snapshots=4, snapshot_churn=0.25)
+        snapshots, _known = inferred_snapshots(
+            study.internet, inference, seed=study.config.seed + 1
+        )
+        inputs = _inputs(study, backend)
+        incremental = run_incremental(snapshots, inputs)
+        scratch = run_scratch(snapshots, inputs)
+        assert incremental.figure1_series() == scratch
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_diff_epoch_is_pure_cache_hit(self, study, series, backend):
+        """An identical consecutive snapshot must cost nothing: no
+        cache misses, no re-grading, every group's tally carried."""
+        doubled = [series[0], series[0].copy(), series[1]]
+        inputs = _inputs(study, backend)
+        results = run_incremental(doubled, inputs)
+        zero = results.epochs[1]
+        assert zero.cache_misses == 0
+        assert zero.regraded_groups == 0
+        assert zero.invalidated_trees == 0
+        assert zero.reused_groups > 0
+        assert zero.figure1 == results.epochs[0].figure1
+        assert results.figure1_series() == run_scratch(doubled, inputs)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_total_churn_matches_cold_recompute(self, study, backend):
+        """100% churn leaves nothing reusable; the incremental leg must
+        degrade to (and agree with) the from-scratch recompute."""
+        inference = InferenceConfig(num_snapshots=3, snapshot_churn=1.0)
+        snapshots, _known = inferred_snapshots(
+            study.internet, inference, seed=study.config.seed + 1
+        )
+        inputs = _inputs(study, backend)
+        incremental = run_incremental(snapshots, inputs)
+        assert incremental.figure1_series() == run_scratch(snapshots, inputs)
+        for epoch in incremental.epochs[1:]:
+            assert sum(epoch.delta.values()) > 0
+
+
+class TestJournalResume:
+    def test_resume_replays_prefix_and_matches_uninterrupted(
+        self, study, series, tmp_path
+    ):
+        inputs = _inputs(study, "dict")
+        journal_path = os.fspath(tmp_path / "temporal.jsonl")
+        full = run_incremental(series, inputs, journal_path=journal_path)
+        assert full.resumed_epochs == 0
+
+        # Truncate the journal to its first three epochs, as a crash
+        # between epochs would leave it.
+        journal = TemporalJournal(journal_path)
+        header, records = journal.load()
+        assert header["fingerprint"] == series_fingerprint(series, inputs)
+        assert len(records) == len(series)
+        truncated = TemporalJournal(journal_path)
+        os.remove(journal_path)
+        truncated.open_append()
+        truncated.write_header(header)
+        for record in records[:3]:
+            truncated.append(record)
+        truncated.close()
+
+        resumed = run_incremental(
+            series, inputs, journal_path=journal_path, resume=True
+        )
+        assert resumed.resumed_epochs == 3
+        assert [epoch.resumed for epoch in resumed.epochs] == [
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+        assert _epoch_bytes(resumed.figure1_series()) == _epoch_bytes(
+            full.figure1_series()
+        )
+        # The journal is whole again after the resumed run.
+        _header, completed = TemporalJournal(journal_path).load()
+        assert len(completed) == len(series)
+
+    def test_resume_refuses_foreign_series(self, study, series, tmp_path):
+        inputs = _inputs(study, "dict")
+        journal_path = os.fspath(tmp_path / "temporal.jsonl")
+        run_incremental(series, inputs, journal_path=journal_path)
+        inference = InferenceConfig(num_snapshots=len(series), snapshot_churn=0.3)
+        other, _known = inferred_snapshots(study.internet, inference, seed=99)
+        with pytest.raises(ValueError, match="different snapshot series"):
+            run_incremental(
+                other, inputs, journal_path=journal_path, resume=True
+            )
+
+    def test_journal_records_are_json_lines(self, study, series, tmp_path):
+        inputs = _inputs(study, "dict")
+        journal_path = os.fspath(tmp_path / "temporal.jsonl")
+        results = run_incremental(series, inputs, journal_path=journal_path)
+        _header, records = TemporalJournal(journal_path).load()
+        for record, epoch in zip(records, results.epochs):
+            assert record["epoch"] == epoch.index
+            assert record["figure1"] == epoch.figure1
+            json.dumps(record)  # every record is JSON-serializable
